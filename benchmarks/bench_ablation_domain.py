@@ -1,0 +1,10 @@
+"""Ablation ``abl-domain``: Domain RO overhead versus Device RO."""
+
+from repro.analysis import ablations
+
+
+def bench_ablation_domain(benchmark, print_once):
+    result = benchmark.pedantic(ablations.domain_overhead, rounds=1, iterations=1)
+    overheads = [float(row[3].rstrip("%")) for row in result.rows]
+    assert all(o >= 0.0 for o in overheads)
+    print_once("abl-domain", result.render())

@@ -1,0 +1,17 @@
+"""Ablation ``abl-energy``: proportional vs per-unit energy models.
+
+Checks the paper's future-work observation: the SW-to-HW gap is wider for
+energy than for time once macros get their own power figures.
+"""
+
+from repro.analysis import ablations
+
+
+def bench_ablation_energy(benchmark, print_once):
+    result = benchmark.pedantic(ablations.energy_comparison, rounds=1, iterations=1)
+    print_once("abl-energy", result.render())
+    ratios = ablations.energy_gap_ratios()
+    assert ratios["energy_ratio"] > ratios["time_ratio"]
+    print_once("abl-energy-ratios",
+                "Music Player SW:HW gap - time %.0fx, energy %.0fx"
+                % (ratios["time_ratio"], ratios["energy_ratio"]))

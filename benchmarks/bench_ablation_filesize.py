@@ -1,0 +1,11 @@
+"""Ablation ``abl-filesize``: macro-set value as a function of DCF size."""
+
+from repro.analysis import ablations
+
+
+def bench_ablation_filesize(benchmark, print_once):
+    result = benchmark.pedantic(ablations.filesize_crossover, rounds=1, iterations=1)
+    winners = [row[-1] for row in result.rows]
+    assert winners[0] == "PKI"
+    assert winners[-1] == "AES/SHA-1"
+    print_once("abl-filesize", result.render())

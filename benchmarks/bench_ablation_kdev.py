@@ -1,0 +1,10 @@
+"""Ablation ``abl-kdev``: the section 2.4.3 K_DEV re-wrap optimization."""
+
+from repro.analysis import ablations
+
+
+def bench_ablation_kdev(benchmark, print_once):
+    result = benchmark.pedantic(ablations.kdev_ablation, rounds=1, iterations=1)
+    slowdowns = [float(row[4].rstrip("x")) for row in result.rows]
+    assert all(s > 1.0 for s in slowdowns)
+    print_once("abl-kdev", result.render())

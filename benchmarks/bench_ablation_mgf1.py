@@ -1,0 +1,10 @@
+"""Ablation ``abl-mgf1``: the paper's one-hash EMSA-PSS approximation."""
+
+from repro.analysis import ablations
+
+
+def bench_ablation_mgf1(benchmark, print_once):
+    result = benchmark.pedantic(ablations.mgf1_sensitivity, rounds=1, iterations=1)
+    differences = [abs(float(row[4].rstrip("%"))) for row in result.rows]
+    assert all(d < 0.1 for d in differences)
+    print_once("abl-mgf1", result.render())

@@ -1,0 +1,10 @@
+"""Ablation ``abl-playbacks``: sensitivity to the number of accesses."""
+
+from repro.analysis import ablations
+
+
+def bench_ablation_playbacks(benchmark, print_once):
+    result = benchmark.pedantic(ablations.playback_sensitivity, rounds=1, iterations=1)
+    music_ms = [float(row[1]) for row in result.rows]
+    assert music_ms == sorted(music_ms)
+    print_once("abl-playbacks", result.render())

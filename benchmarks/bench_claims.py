@@ -1,0 +1,10 @@
+"""Experiment ``pki600``: the in-text claims (PKI ~600 ms and friends)."""
+
+from repro.analysis import claims
+
+
+def bench_claims(benchmark, print_once):
+    result = benchmark(claims.generate)
+    assert abs(result.pki_ms_music - 600) < 30
+    assert result.pki_identical_across_use_cases
+    print_once("claims", result.render())

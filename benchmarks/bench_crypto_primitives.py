@@ -1,0 +1,76 @@
+"""Wall-clock throughput of the from-scratch crypto substrate.
+
+These are real (host CPU) timings of the pure-Python primitives — not the
+paper's cycle model. They document what the functional simulation can
+sustain and guard against performance regressions in the hot paths the
+functional tests depend on.
+"""
+
+import pytest
+
+from repro.crypto.aes import AES
+from repro.crypto.hmac import hmac_sha1
+from repro.crypto.keywrap import unwrap, wrap
+from repro.crypto.modes import cbc_decrypt, cbc_encrypt
+from repro.crypto.pss import pss_sign, pss_verify
+from repro.crypto.rng import HmacDrbg
+from repro.crypto.rsa import generate_keypair
+from repro.crypto.sha1 import sha1
+
+BLOCK = b"\x5a" * 16
+BULK_16K = b"\xa5" * 16_384
+
+
+@pytest.fixture(scope="module")
+def keypair():
+    return generate_keypair(1024, HmacDrbg(b"bench-keys"))
+
+
+def bench_aes_block_encrypt(benchmark):
+    cipher = AES(b"k" * 16)
+    benchmark(cipher.encrypt_block, BLOCK)
+
+
+def bench_aes_block_decrypt(benchmark):
+    cipher = AES(b"k" * 16)
+    benchmark(cipher.decrypt_block, BLOCK)
+
+
+def bench_aes_key_schedule(benchmark):
+    benchmark(AES, b"k" * 16)
+
+
+def bench_cbc_encrypt_16k(benchmark):
+    benchmark(cbc_encrypt, b"k" * 16, b"i" * 16, BULK_16K)
+
+
+def bench_cbc_decrypt_16k(benchmark):
+    ciphertext = cbc_encrypt(b"k" * 16, b"i" * 16, BULK_16K)
+    benchmark(cbc_decrypt, b"k" * 16, b"i" * 16, ciphertext)
+
+
+def bench_sha1_16k(benchmark):
+    benchmark(sha1, BULK_16K)
+
+
+def bench_hmac_sha1_1k(benchmark):
+    benchmark(hmac_sha1, b"key", BULK_16K[:1024])
+
+
+def bench_key_wrap(benchmark):
+    benchmark(wrap, b"k" * 16, b"d" * 32)
+
+
+def bench_key_unwrap(benchmark):
+    wrapped = wrap(b"k" * 16, b"d" * 32)
+    benchmark(unwrap, b"k" * 16, wrapped)
+
+
+def bench_rsa_pss_sign(benchmark, keypair):
+    rng = HmacDrbg(b"bench-salt")
+    benchmark(pss_sign, keypair, b"message", rng)
+
+
+def bench_rsa_pss_verify(benchmark, keypair):
+    signature = pss_sign(keypair, b"message", HmacDrbg(b"s"))
+    benchmark(pss_verify, keypair.public_key, b"message", signature)

@@ -1,0 +1,40 @@
+"""Design-space sweep: all macro subsets, Pareto frontiers, marginal value.
+
+Extends the paper's closing §4 discussion (is a PKI macro worth its
+gates?) into a full enumeration for both use cases.
+"""
+
+from repro.analysis.formatting import format_ms, format_table
+from repro.core.design_space import (enumerate_design_points,
+                                     marginal_value, pareto_frontier)
+
+
+def bench_design_space_music(benchmark, music, print_once):
+    points = benchmark(enumerate_design_points, music)
+    frontier = pareto_frontier(points)
+    assert frontier[0].name == "SW-only"
+    rows = [
+        (p.name, "%.0f" % p.kgates, format_ms(p.time_ms),
+         "yes" if p in frontier else "")
+        for p in points
+    ]
+    print_once("ds-music", format_table(
+        ("macro set", "kgates", "time [ms]", "Pareto"), rows,
+        title="Design space: Music Player"))
+
+
+def bench_design_space_ringtone(benchmark, ring, print_once):
+    points = benchmark(enumerate_design_points, ring)
+    values = marginal_value(points)
+    # The ringtone values the RSA macro most per saved millisecond...
+    assert values["RSA"]["saved_ms"] > values["AES"]["saved_ms"]
+    # ...but per kilogate the cheap AES macro can still compete.
+    rows = [
+        (macro, "%.2fx" % stats["speedup"],
+         format_ms(stats["saved_ms"]),
+         "%.2f" % stats["saved_ms_per_kgate"])
+        for macro, stats in values.items()
+    ]
+    print_once("ds-ring", format_table(
+        ("macro", "speedup", "saved [ms]", "saved ms/kgate"), rows,
+        title="Marginal macro value: Ringtone"))

@@ -1,0 +1,11 @@
+"""Experiment ``fig5``: relative algorithm shares for both use cases."""
+
+from repro.analysis import figure5
+
+
+def bench_figure5(benchmark, print_once):
+    result = benchmark(figure5.generate)
+    # The paper's qualitative reading must hold on every run.
+    assert result.shares["Ringtone"]["PKI Private Key Operation"] > 0.5
+    assert result.shares["Music Player"]["AES Decryption"] > 0.5
+    print_once("fig5", result.render())

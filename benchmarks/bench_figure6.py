@@ -1,0 +1,22 @@
+"""Experiment ``fig6``: Music Player totals under SW / SW-HW / HW.
+
+Paper series: 7730 / 800 / 190 ms. The benchmark times the pricing of the
+paper-scale trace under all three architecture profiles.
+"""
+
+from repro.analysis import figure6
+from repro.core.architecture import PAPER_PROFILES
+
+
+def bench_figure6_pricing(benchmark, model, music):
+    breakdowns = benchmark(model.compare, music, PAPER_PROFILES)
+    totals = [b.total_ms for b in breakdowns]
+    assert totals[0] > totals[1] > totals[2]
+
+
+def bench_figure6_full(benchmark, print_once):
+    result = benchmark(figure6.generate)
+    for name, paper_value in figure6.PAPER_MS.items():
+        deviation = abs(result.measured_ms[name] - paper_value)
+        assert deviation / paper_value < 0.10
+    print_once("fig6", result.render())

@@ -1,0 +1,21 @@
+"""Experiment ``fig7``: Ringtone totals under SW / SW-HW / HW.
+
+Paper series: 900 / 620 / 12 ms.
+"""
+
+from repro.analysis import figure7
+from repro.core.architecture import PAPER_PROFILES
+
+
+def bench_figure7_pricing(benchmark, model, ring):
+    breakdowns = benchmark(model.compare, ring, PAPER_PROFILES)
+    totals = [b.total_ms for b in breakdowns]
+    assert totals[0] > totals[1] > totals[2]
+
+
+def bench_figure7_full(benchmark, print_once):
+    result = benchmark(figure7.generate)
+    for name, paper_value in figure7.PAPER_MS.items():
+        deviation = abs(result.measured_ms[name] - paper_value)
+        assert deviation / paper_value < 0.10
+    print_once("fig7", result.render())

@@ -1,0 +1,52 @@
+"""Wall-clock timings of the functional OMA DRM 2 protocol stack.
+
+Times the real end-to-end flows (512-bit keys to keep the host cost in
+milliseconds) — useful when using the functional model interactively or
+in CI, and a regression guard for the protocol hot paths.
+"""
+
+import copy
+
+import pytest
+
+from repro.drm.rel import play_count
+from repro.usecases.world import DRMWorld
+
+BITS = 512
+CONTENT = b"\xbe" * 4096
+
+
+@pytest.fixture(scope="module")
+def pristine():
+    world = DRMWorld.create(seed="bench-protocol", rsa_bits=BITS)
+    world.ci.publish("cid:b", "audio/mpeg", CONTENT, "u")
+    world.ri.add_offer("ro:b", world.ci.negotiate_license("cid:b"),
+                       play_count(10 ** 9))
+    return world
+
+
+def bench_registration(benchmark, pristine):
+    def run():
+        world = copy.deepcopy(pristine)
+        world.agent.register(world.ri)
+    benchmark(run)
+
+
+def bench_acquire_and_install(benchmark, pristine):
+    registered = copy.deepcopy(pristine)
+    registered.agent.register(registered.ri)
+
+    def run():
+        world = copy.deepcopy(registered)
+        protected = world.agent.acquire(world.ri, "ro:b")
+        world.agent.install(protected, world.ci.get_dcf("cid:b"))
+    benchmark(run)
+
+
+def bench_consume_4k(benchmark, pristine):
+    world = copy.deepcopy(pristine)
+    world.agent.register(world.ri)
+    protected = world.agent.acquire(world.ri, "ro:b")
+    world.agent.install(protected, world.ci.get_dcf("cid:b"))
+    result = benchmark(world.agent.consume, "cid:b")
+    assert result.clear_content == CONTENT

@@ -1,0 +1,17 @@
+"""Experiment ``roap-sizes``: message sizes over the byte pipe.
+
+Regenerates the "ROAP message file sizes" artifact the paper's Java model
+produced, with the canonical binary encoding this reproduction uses.
+"""
+
+from repro.analysis import messages
+
+
+def bench_roap_sizes(benchmark, print_once):
+    result = benchmark.pedantic(messages.generate, rounds=1,
+                                iterations=1)
+    totals = result.by_message()
+    # Certificate/OCSP-bearing messages are the big ones.
+    assert totals["RegistrationResponse"][1] > totals["RORequest"][1]
+    assert 2000 < result.log.total_octets() < 20_000
+    print_once("roap-sizes", result.render())

@@ -1,0 +1,9 @@
+"""Experiment ``table1``: regenerate and verify the Table 1 cost table."""
+
+from repro.analysis import table1
+
+
+def bench_table1(benchmark, print_once):
+    result = benchmark(table1.generate)
+    assert result.matches_paper
+    print_once("table1", result.render())

@@ -1,0 +1,44 @@
+"""Shared benchmark fixtures.
+
+Paper-scale traces are built once per session (they cost seconds of RSA
+key generation) and the benchmarks time the *model evaluation* — pricing a
+trace under an architecture — which is what a user of this library runs in
+a loop when exploring design spaces.
+
+Every bench module prints the regenerated table/figure once, so running
+``pytest benchmarks/ --benchmark-only -s`` reproduces the paper's
+artifacts alongside the timing statistics.
+"""
+
+import pytest
+
+from repro.analysis.common import DEFAULT_SEED, music_trace, ringtone_trace
+from repro.core.model import PerformanceModel
+
+
+@pytest.fixture(scope="session")
+def model():
+    return PerformanceModel()
+
+
+@pytest.fixture(scope="session")
+def music():
+    return music_trace(DEFAULT_SEED)
+
+
+@pytest.fixture(scope="session")
+def ring():
+    return ringtone_trace(DEFAULT_SEED)
+
+
+_printed = set()
+
+
+@pytest.fixture()
+def print_once():
+    """Print an artifact at most once per session (benchmarks re-run)."""
+    def printer(key, text):
+        if key not in _printed:
+            _printed.add(key)
+            print("\n" + text + "\n")
+    return printer

@@ -1,0 +1,103 @@
+#!/usr/bin/env python3
+"""Design-space exploration: which hardware macros earn their gates?
+
+The paper closes by questioning whether a PKI hardware cell's transistor
+cost is justified. This example sweeps every subset of hardware macros
+{AES, SHA-1, RSA} across a range of DCF sizes and access counts and
+reports, for each workload, the cheapest macro set that keeps the DRM
+processing overhead below a 100 ms-per-access latency budget — the kind
+of table a SoC architect would actually want.
+
+Usage::
+
+    python examples/architecture_explorer.py
+"""
+
+
+from repro.analysis.formatting import format_ms, format_table
+from repro.core.architecture import custom_profile
+from repro.core.model import PerformanceModel
+from repro.core.trace import Algorithm
+from repro.usecases.scenario import KIB, UseCase
+from repro.usecases.workload import WorkloadScaler
+
+MACRO_SETS = {
+    "none (SW)": {},
+    "AES": {Algorithm.AES_ENCRYPT: True, Algorithm.AES_DECRYPT: True},
+    "SHA1": {Algorithm.SHA1: True, Algorithm.HMAC_SHA1: True},
+    "RSA": {Algorithm.RSA_PUBLIC: True, Algorithm.RSA_PRIVATE: True},
+    "AES+SHA1": {Algorithm.AES_ENCRYPT: True,
+                 Algorithm.AES_DECRYPT: True, Algorithm.SHA1: True,
+                 Algorithm.HMAC_SHA1: True},
+    "AES+RSA": {Algorithm.AES_ENCRYPT: True,
+                Algorithm.AES_DECRYPT: True,
+                Algorithm.RSA_PUBLIC: True,
+                Algorithm.RSA_PRIVATE: True},
+    "SHA1+RSA": {Algorithm.SHA1: True, Algorithm.HMAC_SHA1: True,
+                 Algorithm.RSA_PUBLIC: True,
+                 Algorithm.RSA_PRIVATE: True},
+    "all (HW)": {a: True for a in Algorithm},
+}
+
+#: Rough relative silicon cost of each macro set (RSA is the big cell).
+GATE_COST = {"none (SW)": 0, "AES": 1, "SHA1": 1, "RSA": 5,
+             "AES+SHA1": 2, "AES+RSA": 6, "SHA1+RSA": 6, "all (HW)": 7}
+
+WORKLOADS = [
+    (30 * KIB, 25, "ringtone-like"),
+    (300 * KIB, 10, "podcast-clip"),
+    (3584 * KIB, 5, "music-track"),
+    (3584 * KIB, 50, "heavy-rotation"),
+]
+
+
+def main():
+    model = PerformanceModel()
+    profiles = {
+        name: custom_profile(name, macros)
+        for name, macros in MACRO_SETS.items()
+    }
+    template = UseCase(name="explore", content_octets=KIB, accesses=1)
+    scaler = WorkloadScaler(template)
+
+    rows = []
+    for octets, accesses, label in WORKLOADS:
+        trace = scaler.trace(content_octets=octets, accesses=accesses)
+        totals = {
+            name: model.evaluate(trace, profile).total_ms
+            for name, profile in profiles.items()
+        }
+        budget_ms = 100.0 * accesses  # 100 ms of DRM work per access
+        within_budget = [name for name, ms in totals.items()
+                         if ms <= budget_ms]
+        if within_budget:
+            affordable = min(within_budget,
+                             key=lambda name: GATE_COST[name])
+        else:
+            affordable = "(none meets budget)"
+        rows.append((
+            label, "%d KiB x %d" % (octets // KIB, accesses),
+            format_ms(totals["none (SW)"]),
+            format_ms(min(totals.values())), affordable,
+        ))
+    print(format_table(
+        ("workload", "size x accesses", "SW [ms]", "best [ms]",
+         "cheapest set under 100 ms/access"),
+        rows, title="Hardware/software partitioning explorer"))
+    print()
+
+    # Detail table for the paper's two workloads.
+    for octets, accesses, label in WORKLOADS[:1] + WORKLOADS[2:3]:
+        trace = scaler.trace(content_octets=octets, accesses=accesses)
+        detail = [
+            (name, format_ms(model.evaluate(trace, p).total_ms),
+             str(GATE_COST[name]))
+            for name, p in profiles.items()
+        ]
+        print(format_table(("macro set", "time [ms]", "gate cost"),
+                           detail, title="Breakdown: " + label))
+        print()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,91 @@
+#!/usr/bin/env python3
+"""Domains: share one license across a family of devices (paper §2.3).
+
+Builds a phone and a portable player, joins both to a domain, buys ONE
+Domain Rights Object with the phone, and plays the track on the player —
+which never contacts the Rights Issuer for this license (the
+"Unconnected Device" scenario). Also shows what happens when an outsider
+device tries the same trick.
+
+Usage::
+
+    python examples/domain_sharing.py
+"""
+
+from repro.crypto.rng import HmacDrbg
+from repro.crypto.rsa import generate_keypair
+from repro.drm.agent import DRMAgent
+from repro.drm.errors import DRMError
+from repro.drm.identifiers import device_id, domain_id
+from repro.drm.rel import play_count
+from repro.core.meter import PlainCrypto
+from repro.usecases.runner import synthetic_content
+from repro.usecases.world import DRMWorld
+
+DOMAIN = domain_id("family")
+
+
+def build_second_device(world, name):
+    """A second terminal certified by the same CA."""
+    crypto = PlainCrypto(HmacDrbg(name.encode()))
+    keys = generate_keypair(1024, crypto.rng)
+    identity = device_id(name)
+    certificate = world.ca.issue(identity, keys.public_key,
+                                 world.clock.now)
+    return DRMAgent(
+        device_id=identity, keypair=keys, certificate=certificate,
+        trust_anchors=[world.ca.root_certificate,
+                       world.ocsp.certificate],
+        crypto=crypto, clock=world.clock,
+    )
+
+
+def main():
+    world = DRMWorld.create(seed="domain-example")
+    phone = world.agent
+    player = build_second_device(world, "mp3-player")
+    print("Built phone (%s) and player (%s)."
+          % (phone.device_id, player.device_id))
+
+    # Publish a track and a shareable license.
+    track = synthetic_content(64 * 1024)
+    dcf = world.ci.publish("cid:album-track", "audio/mpeg", track,
+                           "http://ri.example/shop")
+    world.ri.add_offer("ro:album-track",
+                       world.ci.negotiate_license("cid:album-track"),
+                       play_count(100))
+    world.ri.create_domain(DOMAIN)
+
+    # Both devices register and join the domain.
+    phone.register(world.ri)
+    phone.join_domain(world.ri, DOMAIN)
+    player.register(world.ri)
+    player.join_domain(world.ri, DOMAIN)
+    print("Both devices registered and joined %s." % DOMAIN)
+
+    # The phone buys ONE Domain RO.
+    protected = phone.acquire(world.ri, "ro:album-track",
+                              domain_id=DOMAIN)
+    print("Phone acquired a Domain RO (signature present: %s)."
+          % (protected.signature is not None))
+
+    # Superdistribution: DCF + RO copied to the player out of band.
+    phone.install(protected, dcf)
+    player.install(protected, dcf)
+    assert phone.consume("cid:album-track").clear_content == track
+    assert player.consume("cid:album-track").clear_content == track
+    print("Both devices decrypted the track with the shared domain key.")
+
+    # An outsider with a valid certificate but no domain membership.
+    outsider = build_second_device(world, "strangers-phone")
+    outsider.register(world.ri)
+    try:
+        outsider.install(protected, dcf)
+    except DRMError as exc:
+        print("Outsider rejected as expected: %s" % exc)
+    else:
+        raise AssertionError("outsider must not install a Domain RO")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,33 @@
+#!/usr/bin/env python3
+"""Quickstart: regenerate the paper's headline results in one command.
+
+Runs the full reproduction pipeline — build the OMA DRM 2 world, execute
+the two evaluation use cases, price them under the three architecture
+variants — and prints every table and figure of the paper next to the
+published values.
+
+Usage::
+
+    python examples/quickstart.py
+"""
+
+from repro.analysis import claims, figure5, figure6, figure7, table1
+
+
+def main():
+    print("Reproducing: Thull & Sannino, 'Performance Considerations for")
+    print("an Embedded Implementation of OMA DRM 2', DATE 2005\n")
+
+    print(table1.generate().render())
+    print()
+    print(figure5.generate().render())
+    print()
+    print(figure6.generate().render())
+    print()
+    print(figure7.generate().render())
+    print()
+    print(claims.generate().render())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Setup shim for environments without the `wheel` package.
+
+`pip install -e .` uses PEP 660 editable builds which require bdist_wheel;
+this offline environment lacks `wheel`, so `python setup.py develop`
+provides the equivalent editable install. All metadata lives in
+pyproject.toml.
+"""
+from setuptools import setup
+
+setup()

@@ -1,0 +1,69 @@
+"""Experiment ``fig5``: relative importance of the algorithms (Figure 5).
+
+Figure 5 shows, for the pure-software architecture, the percentage of
+total processing time spent in each cryptographic algorithm for both use
+cases. The paper's qualitative claims, which this experiment verifies:
+
+* the Music Player is dominated by AES decryption and SHA-1 (large file,
+  five playbacks),
+* the Ringtone is dominated by the PKI private-key operations of the
+  registration/installation phases.
+"""
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from ..core.architecture import SW_PROFILE
+from ..core.model import PerformanceModel
+from ..core.report import FIGURE5_CATEGORIES, category_shares
+from .common import DEFAULT_SEED, music_trace, ringtone_trace
+from .formatting import format_stacked_shares
+
+#: Percentages read off the paper's stacked bars (approximate by nature).
+PAPER_SHARES: Dict[str, Dict[str, float]] = {
+    "Ringtone": {
+        "PKI Public Key Operation": 0.05,
+        "PKI Private Key Operation": 0.62,
+        "AES Decryption": 0.22,
+        "SHA-1": 0.11,
+    },
+    "Music Player": {
+        "PKI Public Key Operation": 0.01,
+        "PKI Private Key Operation": 0.07,
+        "AES Decryption": 0.62,
+        "SHA-1": 0.30,
+    },
+}
+
+
+@dataclass
+class Figure5Result:
+    """Measured per-category shares for both use cases (SW profile)."""
+
+    shares: Dict[str, Dict[str, float]]
+
+    def series(self, use_case: str) -> List[float]:
+        """Category fractions in legend order for one use case."""
+        return [self.shares[use_case][c] for c in FIGURE5_CATEGORIES]
+
+    def render(self) -> str:
+        """ASCII stacked-bar rendering in the figure's layout."""
+        labels = list(self.shares)
+        rows = [self.series(label) for label in labels]
+        return format_stacked_shares(
+            labels=labels, categories=list(FIGURE5_CATEGORIES),
+            shares=rows,
+            title="Figure 5 - Relative importance of cryptographic "
+                  "algorithms (SW architecture)",
+        )
+
+
+def generate(seed: str = DEFAULT_SEED) -> Figure5Result:
+    """Regenerate Figure 5's two stacked bars."""
+    model = PerformanceModel()
+    shares = {}
+    for label, trace in (("Ringtone", ringtone_trace(seed)),
+                         ("Music Player", music_trace(seed))):
+        breakdown = model.evaluate(trace, SW_PROFILE)
+        shares[label] = category_shares(breakdown)
+    return Figure5Result(shares=shares)

@@ -1,0 +1,65 @@
+"""Experiment ``fig6``: Music Player execution times (Figure 6).
+
+Figure 6 plots total processing time for the Music Player use case
+(registration + acquisition + installation + five playbacks of a 3.5 MB
+DCF) under the three architecture variants on a log scale. The paper's
+bars: SW 7730 ms, SW/HW 800 ms, HW 190 ms — AES/SHA-1 hardware macros cut
+the total "to almost a tenth" of the software value.
+"""
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from ..core.architecture import PAPER_PROFILES
+from ..core.model import PerformanceModel
+from ..core.report import compare_architectures
+from .common import DEFAULT_SEED, music_trace
+from .formatting import deviation_pct, format_log_bars
+
+#: The paper's Figure 6 bars, in milliseconds.
+PAPER_MS: Dict[str, float] = {"SW": 7730.0, "SW/HW": 800.0, "HW": 190.0}
+
+
+@dataclass
+class Figure6Result:
+    """Measured totals for the three variants plus paper references."""
+
+    measured_ms: Dict[str, float]
+    paper_ms: Dict[str, float]
+
+    def labels(self) -> List[str]:
+        """Variant names in plotting order."""
+        return list(self.measured_ms)
+
+    def deviations_pct(self) -> Dict[str, float]:
+        """Signed deviation from the paper per variant."""
+        return {
+            name: deviation_pct(self.measured_ms[name],
+                                self.paper_ms[name])
+            for name in self.measured_ms
+        }
+
+    def render(self) -> str:
+        """ASCII log-bar rendering in the figure's layout."""
+        labels = self.labels()
+        chart = format_log_bars(
+            labels=labels,
+            values_ms=[self.measured_ms[k] for k in labels],
+            paper_values=[self.paper_ms[k] for k in labels],
+            title="Figure 6 - Music Player use case, execution time "
+                  "(log scale)",
+        )
+        deviations = ", ".join(
+            "%s %+.1f%%" % (k, v) for k, v in self.deviations_pct().items()
+        )
+        return chart + "\ndeviation from paper: " + deviations
+
+
+def generate(seed: str = DEFAULT_SEED) -> Figure6Result:
+    """Regenerate Figure 6's three bars."""
+    comparison = compare_architectures(
+        music_trace(seed), PAPER_PROFILES, PerformanceModel(),
+        use_case="Music Player",
+    )
+    measured = dict(zip(comparison.labels(), comparison.series_ms()))
+    return Figure6Result(measured_ms=measured, paper_ms=dict(PAPER_MS))

@@ -1,0 +1,65 @@
+"""Experiment ``fig7``: Ringtone execution times (Figure 7).
+
+Figure 7 plots total processing time for the Ringtone use case
+(registration + acquisition + installation + 25 accesses of a 30 KB DCF)
+under the three architecture variants on a log scale. The paper's bars:
+SW 900 ms, SW/HW 620 ms, HW 12 ms — here "the significant step occurs when
+providing PKI hardware support", the mirror image of Figure 6.
+"""
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from ..core.architecture import PAPER_PROFILES
+from ..core.model import PerformanceModel
+from ..core.report import compare_architectures
+from .common import DEFAULT_SEED, ringtone_trace
+from .formatting import deviation_pct, format_log_bars
+
+#: The paper's Figure 7 bars, in milliseconds.
+PAPER_MS: Dict[str, float] = {"SW": 900.0, "SW/HW": 620.0, "HW": 12.0}
+
+
+@dataclass
+class Figure7Result:
+    """Measured totals for the three variants plus paper references."""
+
+    measured_ms: Dict[str, float]
+    paper_ms: Dict[str, float]
+
+    def labels(self) -> List[str]:
+        """Variant names in plotting order."""
+        return list(self.measured_ms)
+
+    def deviations_pct(self) -> Dict[str, float]:
+        """Signed deviation from the paper per variant."""
+        return {
+            name: deviation_pct(self.measured_ms[name],
+                                self.paper_ms[name])
+            for name in self.measured_ms
+        }
+
+    def render(self) -> str:
+        """ASCII log-bar rendering in the figure's layout."""
+        labels = self.labels()
+        chart = format_log_bars(
+            labels=labels,
+            values_ms=[self.measured_ms[k] for k in labels],
+            paper_values=[self.paper_ms[k] for k in labels],
+            title="Figure 7 - Ringtone use case, execution time "
+                  "(log scale)",
+        )
+        deviations = ", ".join(
+            "%s %+.1f%%" % (k, v) for k, v in self.deviations_pct().items()
+        )
+        return chart + "\ndeviation from paper: " + deviations
+
+
+def generate(seed: str = DEFAULT_SEED) -> Figure7Result:
+    """Regenerate Figure 7's three bars."""
+    comparison = compare_architectures(
+        ringtone_trace(seed), PAPER_PROFILES, PerformanceModel(),
+        use_case="Ringtone",
+    )
+    measured = dict(zip(comparison.labels(), comparison.series_ms()))
+    return Figure7Result(measured_ms=measured, paper_ms=dict(PAPER_MS))

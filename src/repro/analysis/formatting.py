@@ -1,0 +1,120 @@
+"""Plain-text rendering for tables and figures.
+
+The benchmarks print the same rows/series the paper reports; these helpers
+render them as aligned ASCII tables and log-scale bar charts so a terminal
+run of the harness is directly comparable with the paper's artwork.
+"""
+
+import math
+from typing import List, Optional, Sequence
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence[str]],
+                 title: str = "") -> str:
+    """Render an aligned ASCII table."""
+    columns = len(headers)
+    widths = [len(h) for h in headers]
+    for row in rows:
+        if len(row) != columns:
+            raise ValueError("row width does not match header width")
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(str(cell)))
+
+    def line(cells: Sequence[str]) -> str:
+        return "  ".join(str(c).ljust(widths[i])
+                         for i, c in enumerate(cells)).rstrip()
+
+    separator = "  ".join("-" * w for w in widths)
+    parts = []
+    if title:
+        parts.append(title)
+        parts.append("=" * len(title))
+    parts.append(line(headers))
+    parts.append(separator)
+    parts.extend(line(row) for row in rows)
+    return "\n".join(parts)
+
+
+def format_log_bars(labels: Sequence[str], values_ms: Sequence[float],
+                    title: str = "", width: int = 50,
+                    paper_values: Optional[Sequence[float]] = None) -> str:
+    """Render a horizontal log-scale bar chart (the Figure 6/7 style).
+
+    Bars are proportional to log10 of the value, like the paper's
+    log-scale y-axis; optional paper reference values print alongside.
+    """
+    if len(labels) != len(values_ms):
+        raise ValueError("labels and values must align")
+    positive = [v for v in values_ms if v > 0]
+    if not positive:
+        raise ValueError("log-scale bars need positive values")
+    log_max = max(math.log10(max(v, 1.0)) for v in values_ms)
+    log_max = max(log_max, 1.0)
+
+    parts: List[str] = []
+    if title:
+        parts.append(title)
+        parts.append("=" * len(title))
+    label_width = max(len(label) for label in labels)
+    for i, (label, value) in enumerate(zip(labels, values_ms)):
+        bar_len = max(1, int(round(
+            width * math.log10(max(value, 1.0)) / log_max)))
+        suffix = ""
+        if paper_values is not None:
+            suffix = "  (paper: %g ms)" % paper_values[i]
+        parts.append("%s | %s %.1f ms%s" % (
+            label.ljust(label_width), "#" * bar_len, value, suffix))
+    return "\n".join(parts)
+
+
+def format_stacked_shares(labels: Sequence[str],
+                          categories: Sequence[str],
+                          shares: Sequence[Sequence[float]],
+                          title: str = "", width: int = 60) -> str:
+    """Render 100 %-stacked bars (the Figure 5 style).
+
+    ``shares[i]`` are the per-category fractions for ``labels[i]`` and
+    must sum to ~1.
+    """
+    symbols = "#=+*%@"
+    parts: List[str] = []
+    if title:
+        parts.append(title)
+        parts.append("=" * len(title))
+    legend = "  ".join(
+        "%s %s" % (symbols[i % len(symbols)], category)
+        for i, category in enumerate(categories)
+    )
+    parts.append("legend: " + legend)
+    label_width = max(len(label) for label in labels)
+    for label, row in zip(labels, shares):
+        total = sum(row)
+        if total <= 0:
+            raise ValueError("shares must have a positive sum")
+        bar = ""
+        for i, share in enumerate(row):
+            bar += symbols[i % len(symbols)] * int(round(
+                width * share / total))
+        percentages = ", ".join(
+            "%s %.1f%%" % (categories[i], 100.0 * row[i] / total)
+            for i in range(len(categories))
+        )
+        parts.append("%s | %s" % (label.ljust(label_width), bar))
+        parts.append("%s   %s" % (" " * label_width, percentages))
+    return "\n".join(parts)
+
+
+def format_ms(value: float) -> str:
+    """Milliseconds with sensible precision for tables."""
+    if value >= 100:
+        return "%.0f" % value
+    if value >= 1:
+        return "%.1f" % value
+    return "%.3f" % value
+
+
+def deviation_pct(measured: float, reference: float) -> float:
+    """Signed percentage deviation of ``measured`` from ``reference``."""
+    if reference == 0:
+        raise ValueError("reference value must be non-zero")
+    return 100.0 * (measured - reference) / reference

@@ -1,0 +1,87 @@
+"""One-call reproduction report: every artifact, paper vs measured.
+
+``generate()`` assembles the complete comparison — Table 1, Figures 5-7,
+the in-text claims, message sizes — into a single Markdown document, and
+``write()`` saves it. The CLI exposes this as ``python -m repro report``.
+"""
+
+from dataclasses import dataclass
+
+from . import claims, figure5, figure6, figure7, messages, table1
+from .common import DEFAULT_SEED
+from .formatting import deviation_pct
+
+_HEADER = """# Reproduction report
+
+Paper: Thull & Sannino, "Performance Considerations for an Embedded
+Implementation of OMA DRM 2", DATE 2005.
+
+Seed: `%s`. All modeled times are Table 1 cycle counts at 200 MHz; see
+EXPERIMENTS.md for methodology and tolerances.
+"""
+
+
+def _figure_section(title: str, result, paper_ms) -> str:
+    lines = ["## %s" % title, "",
+             "| Variant | Paper [ms] | Measured [ms] | Deviation |",
+             "|---|---|---|---|"]
+    for name in result.labels():
+        measured = result.measured_ms[name]
+        reference = paper_ms[name]
+        lines.append("| %s | %g | %.1f | %+.1f%% |" % (
+            name, reference, measured,
+            deviation_pct(measured, reference)))
+    return "\n".join(lines)
+
+
+@dataclass
+class ReproductionReport:
+    """The assembled Markdown report."""
+
+    markdown: str
+
+    def write(self, path: str) -> None:
+        """Save the report to ``path``."""
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(self.markdown)
+
+
+def generate(seed: str = DEFAULT_SEED) -> ReproductionReport:
+    """Build the full paper-vs-measured report."""
+    sections = [_HEADER % seed]
+
+    table = table1.generate()
+    sections.append("## Table 1\n\n```\n%s\n```" % table.render())
+
+    fig5 = figure5.generate(seed)
+    sections.append("## Figure 5\n\n```\n%s\n```" % fig5.render())
+
+    sections.append(_figure_section(
+        "Figure 6 — Music Player", figure6.generate(seed),
+        figure6.PAPER_MS))
+    sections.append(_figure_section(
+        "Figure 7 — Ringtone", figure7.generate(seed),
+        figure7.PAPER_MS))
+
+    claim = claims.generate(seed)
+    sections.append("## In-text claims\n\n```\n%s\n```" % claim.render())
+
+    sizes = messages.generate(seed)
+    sections.append("## ROAP message sizes\n\n```\n%s\n```"
+                    % sizes.render())
+
+    verdicts = []
+    verdicts.append("Table 1 matches the paper: %s"
+                    % ("yes" if table.matches_paper else "NO"))
+    worst6 = max(abs(v) for v in
+                 figure6.generate(seed).deviations_pct().values())
+    worst7 = max(abs(v) for v in
+                 figure7.generate(seed).deviations_pct().values())
+    verdicts.append("Worst Figure 6 deviation: %.1f%%" % worst6)
+    verdicts.append("Worst Figure 7 deviation: %.1f%%" % worst7)
+    verdicts.append("PKI ~600 ms claim: measured %.1f ms"
+                    % claim.pki_ms_music)
+    sections.append("## Verdict\n\n" + "\n".join(
+        "* " + v for v in verdicts))
+
+    return ReproductionReport(markdown="\n\n".join(sections) + "\n")

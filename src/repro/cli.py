@@ -1,0 +1,266 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``table1`` / ``figure5`` / ``figure6`` / ``figure7`` / ``claims`` —
+  regenerate one paper artifact.
+* ``all`` — regenerate everything (the quickstart).
+* ``run`` — price a (possibly custom) use case under one architecture,
+  with optional JSON export of the trace/breakdown.
+* ``pareto`` — print the gate/time Pareto frontier for a workload.
+* ``battery`` — battery-life impact of a workload per architecture.
+* ``concurrency`` — CPU-busy vs wall-clock under macro offload.
+* ``report`` — write the full paper-vs-measured Markdown report.
+* ``selftest`` — run the cryptographic known-answer self-tests.
+"""
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .analysis import claims, figure5, figure6, figure7, report, table1
+from .analysis.common import DEFAULT_SEED
+from .analysis.formatting import format_ms, format_table
+from .core.architecture import PAPER_PROFILES
+from .core.battery import Battery, battery_impact
+from .core.concurrency import analyze as analyze_concurrency
+from .crypto.selftest import run_self_tests
+from .core.design_space import (MacroCosts, enumerate_design_points,
+                                pareto_frontier)
+from .core.model import PerformanceModel
+from .core.serialization import dump_breakdown, dump_trace
+from .usecases.catalog import music_player, ringtone
+from .usecases.scenario import UseCase
+from .usecases.workload import run_modeled
+
+_ARTIFACTS = {
+    "table1": table1.generate,
+    "figure5": figure5.generate,
+    "figure6": figure6.generate,
+    "figure7": figure7.generate,
+    "claims": claims.generate,
+}
+
+
+def _resolve_use_case(args: argparse.Namespace) -> UseCase:
+    if args.use_case == "music":
+        base = music_player()
+    elif args.use_case == "ringtone":
+        base = ringtone()
+    else:
+        base = UseCase(name="custom", content_octets=args.size or 30720,
+                       accesses=args.accesses
+                       if args.accesses is not None else 25)
+    if args.size is not None or args.accesses is not None:
+        base = base.scaled(args.size or base.content_octets,
+                           accesses=args.accesses)
+    return base
+
+
+def _add_workload_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--use-case",
+                        choices=("music", "ringtone", "custom"),
+                        default="ringtone")
+    parser.add_argument("--size", type=int, default=None,
+                        help="content size in octets (overrides the "
+                             "use case default)")
+    parser.add_argument("--accesses", type=int, default=None,
+                        help="number of accesses (overrides the "
+                             "use case default)")
+    parser.add_argument("--seed", default=DEFAULT_SEED)
+
+
+def _command_artifact(name: str, args: argparse.Namespace) -> int:
+    print(_ARTIFACTS[name]().render())
+    return 0
+
+
+def _command_all(args: argparse.Namespace) -> int:
+    for name in ("table1", "figure5", "figure6", "figure7", "claims"):
+        print(_ARTIFACTS[name]().render())
+        print()
+    return 0
+
+
+def _command_run(args: argparse.Namespace) -> int:
+    use_case = _resolve_use_case(args)
+    run = run_modeled(use_case, seed=args.seed)
+    model = PerformanceModel()
+    rows = []
+    breakdowns = {}
+    for profile in PAPER_PROFILES:
+        breakdown = model.evaluate(run.trace, profile)
+        breakdowns[profile.name] = breakdown
+        rows.append((profile.name, format_ms(breakdown.total_ms)))
+    print(format_table(
+        ("architecture", "time [ms]"), rows,
+        title="%s: %d octets x %d accesses"
+              % (use_case.name, use_case.content_octets,
+                 use_case.accesses)))
+    if args.export_trace:
+        dump_trace(run.trace, args.export_trace)
+        print("trace written to %s" % args.export_trace)
+    if args.export_breakdown:
+        dump_breakdown(breakdowns[args.arch], args.export_breakdown)
+        print("%s breakdown written to %s"
+              % (args.arch, args.export_breakdown))
+    return 0
+
+
+def _command_pareto(args: argparse.Namespace) -> int:
+    use_case = _resolve_use_case(args)
+    run = run_modeled(use_case, seed=args.seed)
+    costs = MacroCosts(aes_kgates=args.aes_kgates,
+                       sha1_kgates=args.sha1_kgates,
+                       rsa_kgates=args.rsa_kgates)
+    points = enumerate_design_points(run.trace, costs=costs)
+    frontier = pareto_frontier(points, objective=args.objective)
+    rows = [
+        (point.name, "%.0f" % point.kgates, format_ms(point.time_ms),
+         "%.2f" % point.energy_mj,
+         "yes" if point in frontier else "")
+        for point in points
+    ]
+    print(format_table(
+        ("macro set", "kgates", "time [ms]", "energy [mJ]", "Pareto"),
+        rows, title="Design space: %s (objective: %s)"
+        % (use_case.name, args.objective)))
+    return 0
+
+
+def _command_battery(args: argparse.Namespace) -> int:
+    use_case = _resolve_use_case(args)
+    run = run_modeled(use_case, seed=args.seed)
+    model = PerformanceModel()
+    battery = Battery(capacity_mah=args.capacity_mah)
+    rows = []
+    for profile in PAPER_PROFILES:
+        impact = battery_impact(model.evaluate(run.trace, profile),
+                                battery=battery)
+        rows.append((
+            profile.name, "%.3f" % impact.millijoules,
+            "%.2f" % impact.microamp_hours,
+            "%.0f" % impact.runs_per_charge(),
+        ))
+    print(format_table(
+        ("architecture", "energy [mJ]", "charge [uAh]",
+         "workloads/charge"),
+        rows, title="Battery impact: %s (%.0f mAh cell)"
+        % (use_case.name, battery.capacity_mah)))
+    return 0
+
+
+def _command_concurrency(args: argparse.Namespace) -> int:
+    use_case = _resolve_use_case(args)
+    run = run_modeled(use_case, seed=args.seed)
+    model = PerformanceModel()
+    rows = []
+    for profile in PAPER_PROFILES:
+        result = analyze_concurrency(model.evaluate(run.trace, profile),
+                                     overlap=args.overlap)
+        rows.append((
+            profile.name, format_ms(result.wall_clock_ms),
+            format_ms(result.cpu_busy_ms),
+            "%.1f%%" % (100.0 * result.cpu_freed_fraction),
+        ))
+    print(format_table(
+        ("architecture", "wall clock [ms]", "CPU busy [ms]",
+         "CPU freed"),
+        rows, title="%s: offload concurrency (overlap %.2f)"
+        % (use_case.name, args.overlap)))
+    return 0
+
+
+def _command_report(args: argparse.Namespace) -> int:
+    document = report.generate(seed=args.seed)
+    document.write(args.output)
+    print("report written to %s (%d characters)"
+          % (args.output, len(document.markdown)))
+    return 0
+
+
+def _command_selftest(args: argparse.Namespace) -> int:
+    outcome = run_self_tests()
+    for name, ok in outcome.results:
+        print("%-14s %s" % (name, "PASS" if ok else "FAIL"))
+    print("self-test %s" % ("PASSED" if outcome.passed else "FAILED"))
+    return 0 if outcome.passed else 1
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The top-level argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="OMA DRM 2 embedded performance model "
+                    "(Thull & Sannino, DATE 2005 reproduction)",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    for name in _ARTIFACTS:
+        sub = subparsers.add_parser(
+            name, help="regenerate paper artifact %r" % name)
+        sub.set_defaults(
+            handler=lambda args, name=name: _command_artifact(name, args))
+
+    sub = subparsers.add_parser("all",
+                                help="regenerate every paper artifact")
+    sub.set_defaults(handler=_command_all)
+
+    sub = subparsers.add_parser("run", help="price a workload")
+    _add_workload_arguments(sub)
+    sub.add_argument("--arch", choices=("SW", "SW/HW", "HW"),
+                     default="SW", help="architecture for "
+                                        "--export-breakdown")
+    sub.add_argument("--export-trace", metavar="PATH", default=None)
+    sub.add_argument("--export-breakdown", metavar="PATH", default=None)
+    sub.set_defaults(handler=_command_run)
+
+    sub = subparsers.add_parser("pareto",
+                                help="gate/time design-space frontier")
+    _add_workload_arguments(sub)
+    sub.add_argument("--objective", choices=("time", "energy"),
+                     default="time")
+    sub.add_argument("--aes-kgates", type=float, default=25.0)
+    sub.add_argument("--sha1-kgates", type=float, default=20.0)
+    sub.add_argument("--rsa-kgates", type=float, default=100.0)
+    sub.set_defaults(handler=_command_pareto)
+
+    sub = subparsers.add_parser("battery",
+                                help="battery-life impact per "
+                                     "architecture")
+    _add_workload_arguments(sub)
+    sub.add_argument("--capacity-mah", type=float, default=850.0)
+    sub.set_defaults(handler=_command_battery)
+
+    sub = subparsers.add_parser("concurrency",
+                                help="CPU-busy vs wall-clock per "
+                                     "architecture")
+    _add_workload_arguments(sub)
+    sub.add_argument("--overlap", type=float, default=1.0,
+                     help="macro/CPU overlap factor in [0, 1]")
+    sub.set_defaults(handler=_command_concurrency)
+
+    sub = subparsers.add_parser("selftest",
+                                help="run the crypto known-answer "
+                                     "self-tests")
+    sub.set_defaults(handler=_command_selftest)
+
+    sub = subparsers.add_parser("report",
+                                help="write the full paper-vs-measured "
+                                     "Markdown report")
+    sub.add_argument("--output", metavar="PATH", default="REPORT.md")
+    sub.add_argument("--seed", default=DEFAULT_SEED)
+    sub.set_defaults(handler=_command_report)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.handler(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,123 @@
+"""Trace pricing: turn an operation trace into cycles, time and breakdowns.
+
+This is the quantitative heart of the reproduction. Given an
+:class:`~repro.core.trace.OperationTrace` (from a metered functional run
+or from the analytic workload builder) and an
+:class:`~repro.core.architecture.ArchitectureProfile`, the
+:class:`PerformanceModel` prices every record with the Table 1 cost
+database and aggregates cycles by algorithm and by phase — everything
+Figures 5, 6 and 7 of the paper need.
+"""
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence
+
+from .architecture import ArchitectureProfile
+from .costs import CostOptions, CostTable, PAPER_TABLE1
+from .trace import Algorithm, OperationRecord, OperationTrace, Phase
+
+
+@dataclass(frozen=True)
+class PricedOperation:
+    """One trace record with its implementation choice and cycle price."""
+
+    record: OperationRecord
+    implementation: str
+    cycles: int
+
+
+@dataclass
+class CostBreakdown:
+    """The priced result of one (trace, architecture) evaluation."""
+
+    profile: ArchitectureProfile
+    operations: List[PricedOperation] = field(default_factory=list)
+
+    @property
+    def total_cycles(self) -> int:
+        """Total clock cycles across all operations."""
+        return sum(op.cycles for op in self.operations)
+
+    @property
+    def total_ms(self) -> float:
+        """Total processing time in milliseconds at the profile clock."""
+        return self.profile.cycles_to_ms(self.total_cycles)
+
+    @property
+    def total_seconds(self) -> float:
+        """Total processing time in seconds."""
+        return self.total_ms / 1000.0
+
+    def cycles_by_algorithm(self) -> Dict[Algorithm, int]:
+        """Cycles attributed to each Table 1 algorithm."""
+        totals: Dict[Algorithm, int] = {}
+        for op in self.operations:
+            algorithm = op.record.algorithm
+            totals[algorithm] = totals.get(algorithm, 0) + op.cycles
+        return totals
+
+    def cycles_by_phase(self) -> Dict[Phase, int]:
+        """Cycles attributed to each consumption-process phase."""
+        totals: Dict[Phase, int] = {}
+        for op in self.operations:
+            phase = op.record.phase
+            totals[phase] = totals.get(phase, 0) + op.cycles
+        return totals
+
+    def ms_by_phase(self) -> Dict[Phase, float]:
+        """Milliseconds per phase."""
+        return {
+            phase: self.profile.cycles_to_ms(cycles)
+            for phase, cycles in self.cycles_by_phase().items()
+        }
+
+    def ms_by_algorithm(self) -> Dict[Algorithm, float]:
+        """Milliseconds per algorithm."""
+        return {
+            algorithm: self.profile.cycles_to_ms(cycles)
+            for algorithm, cycles in self.cycles_by_algorithm().items()
+        }
+
+    def share_by_algorithm(self) -> Dict[Algorithm, float]:
+        """Fraction of total cycles per algorithm (Figure 5 raw data)."""
+        total = self.total_cycles
+        if total == 0:
+            return {}
+        return {
+            algorithm: cycles / total
+            for algorithm, cycles in self.cycles_by_algorithm().items()
+        }
+
+
+class PerformanceModel:
+    """Prices operation traces under architecture profiles.
+
+    ``cost_table`` defaults to the paper's Table 1; ``options`` carries
+    modeling switches shared with the metering layer (they affect what the
+    *trace* contains, and are stored here so a model and its traces can be
+    kept consistent by construction via :meth:`make_meter`).
+    """
+
+    def __init__(self, cost_table: CostTable = PAPER_TABLE1,
+                 options: CostOptions = CostOptions()) -> None:
+        self.cost_table = cost_table
+        self.options = options
+
+    def evaluate(self, trace: OperationTrace,
+                 profile: ArchitectureProfile) -> CostBreakdown:
+        """Price ``trace`` under ``profile``."""
+        operations = []
+        for record in trace:
+            implementation = profile.implementation(record.algorithm)
+            cycles = self.cost_table.cycles(record, implementation)
+            operations.append(PricedOperation(
+                record=record, implementation=implementation,
+                cycles=cycles,
+            ))
+        return CostBreakdown(profile=profile, operations=operations)
+
+    def compare(self, trace: OperationTrace,
+                profiles: Sequence[ArchitectureProfile]
+                ) -> List[CostBreakdown]:
+        """Price the same trace under several profiles (Figures 6 and 7)."""
+        return [self.evaluate(trace, profile) for profile in profiles]

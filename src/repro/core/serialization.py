@@ -1,0 +1,112 @@
+"""JSON import/export for traces and priced breakdowns.
+
+Operation traces are the library's exchange currency: a functional run on
+one machine can be priced, re-priced and plotted elsewhere. This module
+defines a small, versioned JSON schema for traces and a flat export for
+breakdowns (for spreadsheets and external plotting).
+"""
+
+import json
+from typing import Any, Dict
+
+from .model import CostBreakdown
+from .trace import Algorithm, OperationRecord, OperationTrace, Phase
+
+#: Schema version written into every export.
+SCHEMA_VERSION = 1
+
+
+def trace_to_dict(trace: OperationTrace) -> Dict[str, Any]:
+    """A JSON-ready representation of ``trace``."""
+    return {
+        "schema": SCHEMA_VERSION,
+        "kind": "operation-trace",
+        "records": [
+            {
+                "algorithm": record.algorithm.value,
+                "phase": record.phase.value,
+                "invocations": record.invocations,
+                "blocks": record.blocks,
+                "label": record.label,
+            }
+            for record in trace
+        ],
+    }
+
+
+def trace_from_dict(data: Dict[str, Any]) -> OperationTrace:
+    """Rebuild a trace from :func:`trace_to_dict` output.
+
+    Raises ``ValueError`` on wrong kind/schema or malformed records, so
+    corrupted files fail loudly instead of pricing garbage.
+    """
+    if data.get("kind") != "operation-trace":
+        raise ValueError("not an operation-trace document")
+    if data.get("schema") != SCHEMA_VERSION:
+        raise ValueError(
+            "unsupported schema version %r" % data.get("schema"))
+    records = []
+    for raw in data.get("records", []):
+        try:
+            records.append(OperationRecord(
+                algorithm=Algorithm(raw["algorithm"]),
+                phase=Phase(raw["phase"]),
+                invocations=int(raw["invocations"]),
+                blocks=int(raw["blocks"]),
+                label=str(raw.get("label", "")),
+            ))
+        except (KeyError, ValueError) as exc:
+            raise ValueError("malformed trace record %r" % (raw,)) \
+                from exc
+    return OperationTrace(records)
+
+
+def dump_trace(trace: OperationTrace, path: str) -> None:
+    """Write a trace to a JSON file."""
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(trace_to_dict(trace), handle, indent=2)
+
+
+def load_trace(path: str) -> OperationTrace:
+    """Read a trace from a JSON file."""
+    with open(path, "r", encoding="utf-8") as handle:
+        return trace_from_dict(json.load(handle))
+
+
+def breakdown_to_dict(breakdown: CostBreakdown) -> Dict[str, Any]:
+    """A JSON-ready summary of a priced breakdown."""
+    return {
+        "schema": SCHEMA_VERSION,
+        "kind": "cost-breakdown",
+        "profile": breakdown.profile.name,
+        "clock_hz": breakdown.profile.clock_hz,
+        "total_cycles": breakdown.total_cycles,
+        "total_ms": breakdown.total_ms,
+        "by_algorithm_cycles": {
+            algorithm.value: cycles
+            for algorithm, cycles
+            in breakdown.cycles_by_algorithm().items()
+        },
+        "by_phase_cycles": {
+            phase.value: cycles
+            for phase, cycles in breakdown.cycles_by_phase().items()
+        },
+        "operations": [
+            {
+                "algorithm": op.record.algorithm.value,
+                "phase": op.record.phase.value,
+                "label": op.record.label,
+                "implementation": op.implementation,
+                "invocations": op.record.invocations,
+                "blocks": op.record.blocks,
+                "cycles": op.cycles,
+            }
+            for op in breakdown.operations
+        ],
+    }
+
+
+def dump_breakdown(breakdown: CostBreakdown, path: str) -> None:
+    """Write a breakdown summary to a JSON file."""
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(breakdown_to_dict(breakdown), handle, indent=2)

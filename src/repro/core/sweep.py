@@ -1,0 +1,79 @@
+"""Generic parameter sweeps with CSV export.
+
+The ablation modules each hand-roll one sweep; this utility generalizes
+the pattern for downstream users: a grid over (content size, accesses,
+architecture) priced from a single calibration run, with rows usable
+directly or written as CSV for external plotting.
+"""
+
+import csv
+import io
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from .architecture import ArchitectureProfile, PAPER_PROFILES
+from .model import PerformanceModel
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One grid cell of a workload/architecture sweep."""
+
+    content_octets: int
+    accesses: int
+    architecture: str
+    total_ms: float
+    total_cycles: int
+
+
+class WorkloadSweep:
+    """Grid evaluation over sizes × accesses × architectures.
+
+    ``scaler`` is a :class:`repro.usecases.workload.WorkloadScaler`
+    (duck-typed: anything with ``trace(content_octets, accesses)``), so
+    the whole grid costs one protocol execution.
+    """
+
+    def __init__(self, scaler, model: Optional[PerformanceModel] = None,
+                 profiles: Sequence[ArchitectureProfile] = PAPER_PROFILES
+                 ) -> None:
+        self._scaler = scaler
+        self._model = model if model is not None else PerformanceModel()
+        self._profiles = list(profiles)
+
+    def run(self, sizes_octets: Sequence[int],
+            accesses: Sequence[int]) -> List[SweepPoint]:
+        """Evaluate the full grid; returns points in grid order."""
+        points = []
+        for size in sizes_octets:
+            for n in accesses:
+                trace = self._scaler.trace(content_octets=size,
+                                           accesses=n)
+                for profile in self._profiles:
+                    breakdown = self._model.evaluate(trace, profile)
+                    points.append(SweepPoint(
+                        content_octets=size, accesses=n,
+                        architecture=profile.name,
+                        total_ms=breakdown.total_ms,
+                        total_cycles=breakdown.total_cycles,
+                    ))
+        return points
+
+
+def points_to_csv(points: Sequence[SweepPoint]) -> str:
+    """Render sweep points as CSV text (header + one row per point)."""
+    buffer = io.StringIO()
+    writer = csv.writer(buffer, lineterminator="\n")
+    writer.writerow(("content_octets", "accesses", "architecture",
+                     "total_ms", "total_cycles"))
+    for point in points:
+        writer.writerow((point.content_octets, point.accesses,
+                         point.architecture,
+                         "%.6f" % point.total_ms, point.total_cycles))
+    return buffer.getvalue()
+
+
+def write_csv(points: Sequence[SweepPoint], path: str) -> None:
+    """Write sweep points to a CSV file."""
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(points_to_csv(points))

@@ -1,0 +1,42 @@
+"""Exception hierarchy for the cryptographic substrate.
+
+Every failure raised by :mod:`repro.crypto` derives from :class:`CryptoError`
+so callers (in particular the DRM layer) can distinguish cryptographic
+failures from programming errors with a single ``except`` clause.
+"""
+
+
+class CryptoError(Exception):
+    """Base class for all cryptographic errors."""
+
+
+class InvalidKeyError(CryptoError):
+    """A key has the wrong length, type or structure."""
+
+
+class InvalidBlockError(CryptoError):
+    """Input data is not a whole number of cipher blocks."""
+
+
+class PaddingError(CryptoError):
+    """PKCS#7 padding is malformed (tamper indicator)."""
+
+
+class UnwrapError(CryptoError):
+    """AES key-unwrap integrity check failed (RFC 3394 IV mismatch)."""
+
+
+class SignatureError(CryptoError):
+    """A signature failed to verify."""
+
+
+class MessageTooLongError(CryptoError):
+    """The message does not fit the RSA modulus / encoding constraints."""
+
+
+class DecryptionError(CryptoError):
+    """Generic decryption failure (e.g. RSA ciphertext out of range)."""
+
+
+class KeyGenerationError(CryptoError):
+    """RSA key generation could not complete with the given parameters."""

@@ -1,0 +1,37 @@
+"""KDF2 key derivation function (IEEE 1363a / ANSI X9.63 style).
+
+OMA DRM 2 derives the key-encryption key ``KEK = KDF2(Z)`` from the random
+secret ``Z`` recovered by the RSA decryption of ``C1`` (paper Figure 3, DRM
+spec §7.1.1). KDF2 concatenates hashes of ``Z ‖ counter ‖ otherInfo`` with
+a counter starting at 1:
+
+    T = Hash(Z ‖ I2OSP(1, 4) ‖ other) ‖ Hash(Z ‖ I2OSP(2, 4) ‖ other) ‖ …
+
+and truncates T to the requested length.
+"""
+
+from .encoding import i2osp
+from .sha1 import DIGEST_SIZE, sha1
+
+
+def kdf2(shared_secret: bytes, length: int, other_info: bytes = b"") -> bytes:
+    """Derive ``length`` octets of key material from ``shared_secret``.
+
+    ``other_info`` is the optional context string (empty in the OMA DRM
+    RSAES-KEM-KWS instantiation).
+    """
+    if length < 0:
+        raise ValueError("requested KDF2 output length must be non-negative")
+    blocks = []
+    counter = 1
+    while DIGEST_SIZE * len(blocks) < length:
+        blocks.append(sha1(shared_secret + i2osp(counter, 4) + other_info))
+        counter += 1
+    return b"".join(blocks)[:length]
+
+
+def kdf2_hash_invocations(length: int) -> int:
+    """Number of SHA-1 invocations a KDF2 call of ``length`` octets costs."""
+    if length <= 0:
+        return 0
+    return (length + DIGEST_SIZE - 1) // DIGEST_SIZE

@@ -1,0 +1,72 @@
+"""RSAES-KEM + key-wrapping scheme — the construction of paper Figure 3.
+
+OMA DRM 2 transports the Rights-Object keys with a KEM/DEM hybrid
+(DRM spec §7.1.1, "RSAES-KEM-KWS"):
+
+    sender:    Z   = random in [0, n)            (1024-bit secret)
+               C1  = RSAEP(pub, Z)               (1024 bits)
+               KEK = KDF2(Z, 16)                 (128-bit AES key)
+               C2  = AES-WRAP(KEK, K_MAC ‖ K_REK)  (320 bits on the wire;
+                                                    the paper rounds the
+                                                    2x128-bit payload)
+               C   = C1 ‖ C2
+
+    receiver:  Z   = RSADP(priv, C1)
+               KEK = KDF2(Z, 16)
+               K_MAC ‖ K_REK = AES-UNWRAP(KEK, C2)
+
+The receiver side is exactly the "Installation — unwrapping the keys" chain
+of paper Figure 3: ``C1 → RSADP → Z → KDF2 → KEK → AESUNWRAP(C2) →
+K_MAC, K_REK``.
+"""
+
+from dataclasses import dataclass
+
+from .encoding import i2osp, os2ip
+from .errors import DecryptionError
+from .kdf import kdf2
+from .keywrap import unwrap, wrap
+from .rng import HmacDrbg
+from .rsa import RSAPrivateKey, RSAPublicKey, rsadp, rsaep
+
+#: Length of the derived key-encryption key (128-bit AES).
+KEK_LENGTH = 16
+
+
+@dataclass(frozen=True)
+class KemCiphertext:
+    """The two-part ciphertext ``C = C1 ‖ C2`` of Figure 3."""
+
+    c1: bytes
+    c2: bytes
+
+    def concatenation(self) -> bytes:
+        """The on-the-wire form ``C1 ‖ C2``."""
+        return self.c1 + self.c2
+
+    @classmethod
+    def split(cls, blob: bytes, modulus_octets: int) -> "KemCiphertext":
+        """Split a wire blob back into ``C1`` (modulus-length) and ``C2``."""
+        if len(blob) <= modulus_octets:
+            raise DecryptionError("KEM ciphertext too short to split")
+        return cls(c1=blob[:modulus_octets], c2=blob[modulus_octets:])
+
+
+def kem_encrypt(public_key: RSAPublicKey, key_material: bytes,
+                rng: HmacDrbg) -> KemCiphertext:
+    """Encapsulate ``key_material`` (e.g. ``K_MAC ‖ K_REK``) to ``public_key``."""
+    z = rng.random_range(1, public_key.n)
+    c1 = i2osp(rsaep(public_key, z), public_key.modulus_octets)
+    kek = kdf2(i2osp(z, public_key.modulus_octets), KEK_LENGTH)
+    c2 = wrap(kek, key_material)
+    return KemCiphertext(c1=c1, c2=c2)
+
+
+def kem_decrypt(private_key: RSAPrivateKey,
+                ciphertext: KemCiphertext) -> bytes:
+    """Recover the wrapped key material — the Installation chain of Figure 3."""
+    if len(ciphertext.c1) != private_key.modulus_octets:
+        raise DecryptionError("C1 must be exactly one modulus in length")
+    z = rsadp(private_key, os2ip(ciphertext.c1))
+    kek = kdf2(i2osp(z, private_key.modulus_octets), KEK_LENGTH)
+    return unwrap(kek, ciphertext.c2)

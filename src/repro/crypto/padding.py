@@ -1,0 +1,30 @@
+"""PKCS#7 block padding (RFC 5652 §6.3).
+
+AES-CBC content encryption inside the DCF pads plaintext to a whole number
+of 16-octet blocks. A malformed pad on decryption is a tamper indicator and
+raises :class:`PaddingError`.
+"""
+
+from .errors import PaddingError
+
+
+def pad(data: bytes, block_size: int = 16) -> bytes:
+    """Append PKCS#7 padding so ``len(result)`` is a multiple of ``block_size``."""
+    if not 1 <= block_size <= 255:
+        raise ValueError("block_size must be in [1, 255]")
+    pad_length = block_size - (len(data) % block_size)
+    return data + bytes([pad_length] * pad_length)
+
+
+def unpad(data: bytes, block_size: int = 16) -> bytes:
+    """Strip and validate PKCS#7 padding."""
+    if not 1 <= block_size <= 255:
+        raise ValueError("block_size must be in [1, 255]")
+    if not data or len(data) % block_size != 0:
+        raise PaddingError("padded data length is not a block multiple")
+    pad_length = data[-1]
+    if pad_length < 1 or pad_length > block_size:
+        raise PaddingError("padding length byte out of range")
+    if data[-pad_length:] != bytes([pad_length] * pad_length):
+        raise PaddingError("padding bytes are inconsistent")
+    return data[:-pad_length]

@@ -1,0 +1,148 @@
+"""RSA key generation and the PKCS#1 v2.1 primitives (RFC 3447).
+
+OMA DRM 2 mandates 1024-bit RSA as its PKI function, using exactly the four
+primitives the paper names:
+
+* ``RSAEP`` / ``RSADP`` — encryption/decryption primitives (key transport
+  of the ``K_MAC‖K_REK`` wrapping secret),
+* ``RSASP1`` / ``RSAVP1`` — signature/verification primitives (under
+  RSASSA-PSS for ROAP message and Rights-Object signatures).
+
+Private-key operations use the Chinese Remainder Theorem, the same
+optimization the Montgomery-multiplier hardware of the paper's reference
+[7] exploits; the ~14x public/private cost ratio in Table 1 reflects the
+short public exponent versus the full-length private exponent.
+"""
+
+from dataclasses import dataclass
+
+from .encoding import byte_length
+from .errors import DecryptionError, KeyGenerationError, MessageTooLongError
+from .primes import generate_prime
+from .rng import HmacDrbg
+
+#: The conventional public exponent F4.
+DEFAULT_PUBLIC_EXPONENT = 65537
+
+
+@dataclass(frozen=True)
+class RSAPublicKey:
+    """RSA public key ``(n, e)``."""
+
+    n: int
+    e: int
+
+    @property
+    def modulus_bits(self) -> int:
+        """Size of the modulus in bits (1024 for the DRM default)."""
+        return self.n.bit_length()
+
+    @property
+    def modulus_octets(self) -> int:
+        """Size of the modulus in octets (``k`` in RFC 3447)."""
+        return byte_length(self.n)
+
+
+@dataclass(frozen=True)
+class RSAPrivateKey:
+    """RSA private key with CRT components (RFC 3447 second form)."""
+
+    n: int
+    e: int
+    d: int
+    p: int
+    q: int
+    d_p: int
+    d_q: int
+    q_inv: int
+
+    @property
+    def public_key(self) -> RSAPublicKey:
+        """The matching public key."""
+        return RSAPublicKey(self.n, self.e)
+
+    @property
+    def modulus_bits(self) -> int:
+        """Size of the modulus in bits."""
+        return self.n.bit_length()
+
+    @property
+    def modulus_octets(self) -> int:
+        """Size of the modulus in octets."""
+        return byte_length(self.n)
+
+
+def generate_keypair(bits: int, rng: HmacDrbg,
+                     public_exponent: int = DEFAULT_PUBLIC_EXPONENT
+                     ) -> RSAPrivateKey:
+    """Generate an RSA key pair with a modulus of exactly ``bits`` bits."""
+    if bits < 64:
+        raise KeyGenerationError("modulus below 64 bits is not supported")
+    if public_exponent < 3 or public_exponent % 2 == 0:
+        raise KeyGenerationError("public exponent must be odd and >= 3")
+
+    half = bits // 2
+    for _ in range(1000):
+        p = generate_prime(bits - half, rng)
+        q = generate_prime(half, rng)
+        if p == q:
+            continue
+        n = p * q
+        if n.bit_length() != bits:
+            continue
+        phi = (p - 1) * (q - 1)
+        try:
+            d = pow(public_exponent, -1, phi)
+        except ValueError:
+            continue  # e not invertible mod phi; draw fresh primes
+        if p < q:
+            p, q = q, p
+        return RSAPrivateKey(
+            n=n,
+            e=public_exponent,
+            d=d,
+            p=p,
+            q=q,
+            d_p=d % (p - 1),
+            d_q=d % (q - 1),
+            q_inv=pow(q, -1, p),
+        )
+    raise KeyGenerationError("failed to generate an RSA key pair")
+
+
+def _check_range(value: int, modulus: int, what: str) -> None:
+    if not 0 <= value < modulus:
+        raise DecryptionError("%s representative out of range" % what)
+
+
+def rsaep(public_key: RSAPublicKey, message: int) -> int:
+    """RSAEP encryption primitive: ``m^e mod n`` (RFC 3447 §5.1.1)."""
+    if not 0 <= message < public_key.n:
+        raise MessageTooLongError("message representative out of range")
+    return pow(message, public_key.e, public_key.n)
+
+
+def _crt_exponentiate(key: RSAPrivateKey, value: int) -> int:
+    """Private exponentiation via the Chinese Remainder Theorem."""
+    m1 = pow(value % key.p, key.d_p, key.p)
+    m2 = pow(value % key.q, key.d_q, key.q)
+    h = (key.q_inv * (m1 - m2)) % key.p
+    return m2 + key.q * h
+
+
+def rsadp(private_key: RSAPrivateKey, ciphertext: int) -> int:
+    """RSADP decryption primitive: ``c^d mod n`` via CRT (RFC 3447 §5.1.2)."""
+    _check_range(ciphertext, private_key.n, "ciphertext")
+    return _crt_exponentiate(private_key, ciphertext)
+
+
+def rsasp1(private_key: RSAPrivateKey, message: int) -> int:
+    """RSASP1 signature primitive: ``m^d mod n`` via CRT (RFC 3447 §5.2.1)."""
+    _check_range(message, private_key.n, "message")
+    return _crt_exponentiate(private_key, message)
+
+
+def rsavp1(public_key: RSAPublicKey, signature: int) -> int:
+    """RSAVP1 verification primitive: ``s^e mod n`` (RFC 3447 §5.2.2)."""
+    _check_range(signature, public_key.n, "signature")
+    return pow(signature, public_key.e, public_key.n)

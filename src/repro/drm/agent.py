@@ -1,0 +1,660 @@
+"""The DRM Agent — the trusted entity in the user's terminal.
+
+This is the terminal side of the paper's four phases (§2.4), and the
+component whose cryptographic work the cost model prices. When constructed
+with a :class:`~repro.core.meter.MeteredCrypto` provider, every method tags
+its operations with the proper :class:`~repro.core.trace.Phase`:
+
+* :meth:`register` — 4-pass ROAP: sign the RegistrationRequest (1 RSA
+  private op), verify the RegistrationResponse signature, the RI
+  certificate and the OCSP response (3 RSA public ops).
+* :meth:`acquire` — 2-pass RO acquisition: sign the RORequest (1 private),
+  verify the ROResponse signature (1 public).
+* :meth:`install` — unwrap the Figure 3 chain: RSADP on ``C1`` (1
+  private), KDF2, AES-UNWRAP of ``C2``; verify the RO MAC; verify the RO
+  signature if present; re-wrap ``K_MAC‖K_REK`` under ``K_DEV`` into
+  ``C2dev``.
+* :meth:`consume` — per access: unwrap ``C2dev``, verify the RO MAC,
+  verify the DCF hash, unwrap ``K_CEK`` and decrypt the content.
+
+The OCSP responder's certificate is provisioned as a trust anchor together
+with the CA root (verified once at manufacture), so a registration costs
+exactly the paper's three public-key verifications.
+"""
+
+from dataclasses import dataclass
+from typing import Iterable, Optional
+
+from ..core.trace import Phase
+from ..crypto.errors import CryptoError
+from .certificates import Certificate, verify_certificate
+from ..crypto.kem import KemCiphertext
+from .clock import SimulationClock, YEAR
+from .dcf import DCF, MultipartDCF
+from .errors import (AcquisitionError, InstallationError, IntegrityError,
+                     NonceMismatchError, PermissionDeniedError,
+                     RegistrationError)
+from .identifiers import DEFAULT_ALGORITHMS, ROAP_VERSION
+from .ocsp import verify_ocsp_response
+from .rel import (ExportConstraint, ExportMode, PermissionType,
+                  RightsEvaluator)
+from .ro import InstalledRightsObject, ProtectedRightsObject
+from .roap.messages import (DeviceHello, JoinDomainRequest,
+                            LeaveDomainRequest, RegistrationRequest,
+                            ROAP_STATUS_OK, RORequest, new_nonce)
+from .roap.triggers import RoapTrigger, TriggerType
+from .storage import (DeviceStorage, DomainContext, RIContext,
+                      SecureStorage)
+
+#: Device key length (128-bit AES key in secure storage).
+KDEV_LENGTH = 16
+
+#: How long an RI Context stays valid before re-registration.
+RI_CONTEXT_LIFETIME = 1 * YEAR
+
+
+@dataclass(frozen=True)
+class ConsumptionResult:
+    """One successful content access: the clear content plus bookkeeping."""
+
+    content_id: str
+    ro_id: str
+    clear_content: bytes
+    permission: PermissionType
+
+
+@dataclass(frozen=True)
+class ExportResult:
+    """One successful export to another DRM system.
+
+    ``clear_content`` is handed to the target system's re-protection
+    step (outside this model's scope); ``mode`` records whether local
+    rights were kept (copy) or surrendered (move).
+    """
+
+    content_id: str
+    target_system: str
+    mode: "ExportMode"
+    clear_content: bytes
+
+
+class DRMAgent:
+    """A DRM Agent bound to one device identity.
+
+    ``verify_dcf_on_install`` controls whether the agent checks the DCF
+    hash already at installation (in addition to the per-access check the
+    paper mandates); the paper's use-case totals are consistent with
+    checking at consumption only, so the default is False.
+    """
+
+    def __init__(self, device_id: str, keypair, certificate: Certificate,
+                 trust_anchors: Iterable[Certificate], crypto,
+                 clock: SimulationClock,
+                 verify_dcf_on_install: bool = False,
+                 kdev_optimization: bool = True,
+                 clock_skew_seconds: int = 0) -> None:
+        self.device_id = device_id
+        self.certificate = certificate
+        self.trust_anchors = list(trust_anchors)
+        self.crypto = crypto
+        self.clock = clock
+        self.verify_dcf_on_install = verify_dcf_on_install
+        self.kdev_optimization = kdev_optimization
+        self._time_offset = clock_skew_seconds
+        self.secure = SecureStorage(
+            device_private_key=keypair,
+            kdev=crypto.random_bytes(KDEV_LENGTH),
+        )
+        self.storage = DeviceStorage()
+
+    def drm_time(self) -> int:
+        """The device's DRM Time: the secure clock plus its drift.
+
+        Resynchronized from the RI's ``ri_time`` at every registration —
+        the standard's defense against terminals whose clock has drifted
+        (or been wound back to stretch datetime constraints).
+        """
+        return self.clock.now + self._time_offset
+
+    # ------------------------------------------------------------------
+    # Phase 1: Registration — establishing trust (paper §2.4.1)
+    # ------------------------------------------------------------------
+    def register(self, rights_issuer) -> RIContext:
+        """Run the 4-pass ROAP registration against ``rights_issuer``.
+
+        Returns the RI Context that later phases require. All terminal
+        crypto is tagged ``Phase.REGISTRATION``.
+        """
+        with self.crypto.in_phase(Phase.REGISTRATION):
+            hello = DeviceHello(
+                version=ROAP_VERSION, device_id=self.device_id,
+                supported_algorithms=DEFAULT_ALGORITHMS,
+            )
+            ri_hello = rights_issuer.hello(hello)
+            if ri_hello.version != ROAP_VERSION:
+                raise RegistrationError(
+                    "RI speaks ROAP %r, expected %r"
+                    % (ri_hello.version, ROAP_VERSION)
+                )
+
+            device_nonce = new_nonce(self.crypto)
+            unsigned = RegistrationRequest(
+                session_id=ri_hello.session_id,
+                device_nonce=device_nonce,
+                request_time=self.drm_time(),
+                certificate=self.certificate,
+            )
+            request = RegistrationRequest(
+                session_id=unsigned.session_id,
+                device_nonce=unsigned.device_nonce,
+                request_time=unsigned.request_time,
+                certificate=unsigned.certificate,
+                signature=self.crypto.pss_sign(
+                    self.secure.device_private_key, unsigned.tbs_bytes(),
+                    label="sign-registration-request"),
+            )
+
+            response = rights_issuer.register(request)
+            if response.status != ROAP_STATUS_OK:
+                raise RegistrationError(
+                    "registration refused: %s" % response.status
+                )
+            if response.device_nonce != device_nonce:
+                raise NonceMismatchError(
+                    "RegistrationResponse does not echo our nonce"
+                )
+            # DRM Time resynchronization: adopt the RI's clock before
+            # validating time-sensitive artifacts, so a drifted device
+            # can still complete registration (the signed response and
+            # our nonce prevent an attacker from feeding a bogus time).
+            if response.ri_time:
+                self._time_offset = response.ri_time - self.clock.now
+            # The paper's three registration-phase public-key operations:
+            # message signature, RI certificate, OCSP response.
+            self.crypto.pss_verify(
+                response.ri_certificate.public_key,
+                response.tbs_bytes(), response.signature,
+                label="verify-registration-response")
+            verify_certificate(response.ri_certificate,
+                               self.trust_anchors, self.drm_time(),
+                               self.crypto)
+            responder_cert = self._find_anchor(
+                response.ocsp_response.responder)
+            verify_ocsp_response(
+                response.ocsp_response,
+                response.ri_certificate.serial,
+                responder_cert, self.drm_time(), self.crypto)
+
+            context = RIContext(
+                ri_id=ri_hello.ri_id,
+                ri_certificate=response.ri_certificate,
+                session_id=ri_hello.session_id,
+                registered_at=self.drm_time(),
+                expires_at=self.drm_time() + RI_CONTEXT_LIFETIME,
+                selected_algorithms=ri_hello.selected_algorithms,
+            )
+            self.storage.store_ri_context(context)
+            return context
+
+    def _find_anchor(self, subject: str) -> Certificate:
+        for anchor in self.trust_anchors:
+            if anchor.subject == subject:
+                return anchor
+        raise RegistrationError(
+            "no provisioned trust anchor for %r" % subject
+        )
+
+    # ------------------------------------------------------------------
+    # Phase 2: Acquisition — obtaining the Rights Object (paper §2.4.2)
+    # ------------------------------------------------------------------
+    def acquire(self, rights_issuer, ro_id: str,
+                domain_id: Optional[str] = None) -> ProtectedRightsObject:
+        """Run the 2-pass RO acquisition for ``ro_id``.
+
+        Requires a valid RI Context. All terminal crypto is tagged
+        ``Phase.ACQUISITION``.
+        """
+        with self.crypto.in_phase(Phase.ACQUISITION):
+            context = self.storage.get_ri_context(rights_issuer.ri_id,
+                                                  self.drm_time())
+            device_nonce = new_nonce(self.crypto)
+            unsigned = RORequest(
+                device_id=self.device_id, ri_id=context.ri_id,
+                ro_id=ro_id, device_nonce=device_nonce,
+                request_time=self.drm_time(), domain_id=domain_id,
+            )
+            request = RORequest(
+                device_id=unsigned.device_id, ri_id=unsigned.ri_id,
+                ro_id=unsigned.ro_id, device_nonce=unsigned.device_nonce,
+                request_time=unsigned.request_time,
+                domain_id=unsigned.domain_id,
+                signature=self.crypto.pss_sign(
+                    self.secure.device_private_key, unsigned.tbs_bytes(),
+                    label="sign-ro-request"),
+            )
+            response = rights_issuer.request_ro(request)
+            if response.status != ROAP_STATUS_OK:
+                raise AcquisitionError(
+                    "RO acquisition refused: %s" % response.status
+                )
+            if response.device_nonce != device_nonce:
+                raise NonceMismatchError(
+                    "ROResponse does not echo our nonce"
+                )
+            self.crypto.pss_verify(context.ri_certificate.public_key,
+                                   response.tbs_bytes(),
+                                   response.signature,
+                                   label="verify-ro-response")
+            return response.protected_ro
+
+    # ------------------------------------------------------------------
+    # Phase 3: Installation — unwrapping the keys (paper §2.4.3, Figure 3)
+    # ------------------------------------------------------------------
+    def install(self, protected_ro: ProtectedRightsObject,
+                dcf) -> InstalledRightsObject:
+        """Verify and install a protected RO for its DCF(s).
+
+        ``dcf`` is one :class:`DCF` or a sequence of them — a multi-asset
+        RO (album license) installs against all its content objects at
+        once. Runs the Figure 3 extraction (RSADP → KDF2 → AES-UNWRAP),
+        checks integrity/authenticity, and re-wraps ``K_MAC‖K_REK`` under
+        ``K_DEV``. All terminal crypto is tagged ``Phase.INSTALLATION``.
+        """
+        if isinstance(dcf, DCF):
+            dcfs = [dcf]
+        elif isinstance(dcf, MultipartDCF):
+            dcfs = list(dcf.containers)
+        else:
+            dcfs = list(dcf)
+        with self.crypto.in_phase(Phase.INSTALLATION):
+            ro = protected_ro.ro
+            by_content = {d.content_id: d for d in dcfs}
+            missing = [a.content_id for a in ro.assets
+                       if a.content_id not in by_content]
+            if missing:
+                raise InstallationError(
+                    "no DCF supplied for %s" % ", ".join(missing)
+                )
+            # Replay protection: the same minted RO must not install
+            # twice, or exhausted counts could be reset at will.
+            if self.storage.seen_before(ro.guid):
+                raise InstallationError(
+                    "Rights Object %r was already installed (replay)"
+                    % ro.ro_id
+                )
+            key_material = self._recover_key_material(protected_ro)
+            kmac, krek = key_material[:16], key_material[16:32]
+
+            # RO integrity and authenticity via the MAC under K_MAC.
+            if not self.crypto.hmac_verify(kmac, ro.payload_bytes(),
+                                           protected_ro.mac,
+                                           label="ro-mac"):
+                raise IntegrityError("Rights Object MAC check failed")
+
+            # RO signature: mandatory for Domain ROs, optional otherwise.
+            if protected_ro.signature is not None:
+                context = self.storage.get_ri_context(
+                    ro.rights_issuer_id, self.drm_time())
+                self.crypto.pss_verify(
+                    context.ri_certificate.public_key,
+                    ro.payload_bytes(), protected_ro.signature,
+                    label="verify-ro-signature")
+
+            if self.verify_dcf_on_install:
+                for asset in ro.assets:
+                    self._verify_dcf_hash(
+                        asset.dcf_hash, by_content[asset.content_id])
+
+            if self.kdev_optimization:
+                c2dev = self.crypto.aes_wrap(self.secure.kdev,
+                                             kmac + krek,
+                                             label="c2dev-wrap")
+                installed = InstalledRightsObject(
+                    ro=ro, c2dev=c2dev, mac=protected_ro.mac)
+            else:
+                # Ablation counterfactual: keep the PKI-protected C, so
+                # every access pays the Figure 3 chain again.
+                if protected_ro.kem_ciphertext is None:
+                    raise InstallationError(
+                        "the no-K_DEV ablation supports Device ROs only"
+                    )
+                installed = InstalledRightsObject(
+                    ro=ro, c2dev=None, mac=protected_ro.mac,
+                    kem_ciphertext=protected_ro.kem_ciphertext)
+            evaluator = RightsEvaluator(ro.rights)
+            installed.state = evaluator.initial_state()
+            self.storage.store_ro(installed)
+            for item in dcfs:
+                self.storage.store_dcf(item)
+            self.storage.remember(ro.guid)
+            return installed
+
+    def _recover_key_material(
+            self, protected_ro: ProtectedRightsObject) -> bytes:
+        """K_MAC ‖ K_REK from the KEM chain or the domain key."""
+        if protected_ro.kem_ciphertext is not None:
+            try:
+                return self.crypto.kem_decrypt(
+                    self.secure.device_private_key,
+                    protected_ro.kem_ciphertext)
+            except CryptoError as exc:
+                raise InstallationError(
+                    "cannot unwrap RO keys: %s" % exc) from exc
+        domain_context = self.storage.get_domain_context(
+            protected_ro.ro.domain_id)
+        domain_key = self.crypto.aes_unwrap(
+            self.secure.kdev, domain_context.wrapped_domain_key)
+        try:
+            return self.crypto.aes_unwrap(
+                domain_key, protected_ro.domain_wrapped_keys)
+        except CryptoError as exc:
+            raise InstallationError(
+                "cannot unwrap Domain RO keys: %s" % exc) from exc
+
+    def _verify_dcf_hash(self, expected: bytes, dcf: DCF) -> None:
+        digest = self.crypto.sha1(dcf.to_bytes(), label="dcf-hash")
+        if digest != expected:
+            raise IntegrityError("DCF hash mismatch — content tampered")
+
+    # ------------------------------------------------------------------
+    # Phase 4: Consumption — steps for every access (paper §2.4.4)
+    # ------------------------------------------------------------------
+    def consume(self, content_id: str,
+                permission: PermissionType = PermissionType.PLAY
+                ) -> ConsumptionResult:
+        """Access protected content once.
+
+        The paper's per-access steps: (1) decrypt ``C2dev`` with
+        ``K_DEV``, (2) verify the RO MAC, (3) verify the DCF hash — plus
+        the content-path work: unwrap ``K_CEK`` with ``K_REK`` and
+        AES-CBC-decrypt the payload. Rights constraints are evaluated and
+        consumed (count decrement, first-use timestamps). All terminal
+        crypto is tagged ``Phase.CONSUMPTION``.
+        """
+        with self.crypto.in_phase(Phase.CONSUMPTION):
+            installed = self.storage.find_ro_for_content(content_id)
+            dcf = self.storage.get_dcf(content_id)
+            evaluator = RightsEvaluator(installed.ro.rights)
+            evaluator.check(permission, installed.state,
+                            self.drm_time())
+
+            # Step 1: decrypt C2dev using K_DEV (or, in the no-K_DEV
+            # ablation, redo the full PKI unwrap of Figure 3).
+            if installed.c2dev is not None:
+                key_material = self.crypto.aes_unwrap(
+                    self.secure.kdev, installed.c2dev,
+                    label="c2dev-unwrap")
+            else:
+                key_material = self.crypto.kem_decrypt(
+                    self.secure.device_private_key,
+                    installed.kem_ciphertext, label="c-unwrap-per-access")
+            kmac, krek = key_material[:16], key_material[16:32]
+
+            # Step 2: verify RO integrity via its MAC.
+            if not self.crypto.hmac_verify(
+                    kmac, installed.ro.payload_bytes(), installed.mac,
+                    label="ro-mac"):
+                raise IntegrityError("Rights Object MAC check failed")
+
+            # Step 3: verify DCF integrity against the hash in the RO.
+            asset = installed.ro.asset_for(content_id)
+            self._verify_dcf_hash(asset.dcf_hash, dcf)
+
+            # Unlock the content: K_CEK from K_REK, then bulk decryption.
+            kcek = self.crypto.aes_unwrap(krek, asset.wrapped_kcek,
+                                          label="kcek-unwrap")
+            clear = self.crypto.aes_cbc_decrypt(kcek, dcf.iv,
+                                                dcf.encrypted_data,
+                                                label="content-decrypt")
+
+            evaluator.consume(permission, installed.state,
+                              self.drm_time())
+            return ConsumptionResult(
+                content_id=content_id, ro_id=installed.ro_id,
+                clear_content=clear, permission=permission,
+            )
+
+    def consume_streaming(self, content_id: str,
+                          permission: PermissionType = PermissionType.PLAY,
+                          chunk_octets: int = 4096):
+        """Progressive playback: yield clear content chunk by chunk.
+
+        All integrity checks (C2dev unwrap, RO MAC, DCF hash) and the
+        REL consumption happen up front — playback must not start on
+        tampered content — then the AES-CBC payload decrypts chunkwise,
+        each chunk chaining from the previous ciphertext block, so a
+        player never holds the whole track in memory.
+        """
+        if chunk_octets <= 0 or chunk_octets % 16 != 0:
+            raise ValueError("chunk size must be a positive multiple "
+                             "of 16 octets")
+        with self.crypto.in_phase(Phase.CONSUMPTION):
+            installed = self.storage.find_ro_for_content(content_id)
+            dcf = self.storage.get_dcf(content_id)
+            evaluator = RightsEvaluator(installed.ro.rights)
+            evaluator.check(permission, installed.state,
+                            self.drm_time())
+            if installed.c2dev is not None:
+                key_material = self.crypto.aes_unwrap(
+                    self.secure.kdev, installed.c2dev,
+                    label="c2dev-unwrap")
+            else:
+                key_material = self.crypto.kem_decrypt(
+                    self.secure.device_private_key,
+                    installed.kem_ciphertext,
+                    label="c-unwrap-per-access")
+            kmac, krek = key_material[:16], key_material[16:32]
+            if not self.crypto.hmac_verify(
+                    kmac, installed.ro.payload_bytes(), installed.mac,
+                    label="ro-mac"):
+                raise IntegrityError("Rights Object MAC check failed")
+            asset = installed.ro.asset_for(content_id)
+            self._verify_dcf_hash(asset.dcf_hash, dcf)
+            kcek = self.crypto.aes_unwrap(krek, asset.wrapped_kcek,
+                                          label="kcek-unwrap")
+            evaluator.consume(permission, installed.state,
+                              self.drm_time())
+
+        def stream():
+            from ..crypto.padding import unpad
+            ciphertext = dcf.encrypted_data
+            previous_block = dcf.iv
+            with self.crypto.in_phase(Phase.CONSUMPTION):
+                for offset in range(0, len(ciphertext), chunk_octets):
+                    chunk = ciphertext[offset:offset + chunk_octets]
+                    clear = self.crypto.aes_cbc_decrypt_raw(
+                        kcek, previous_block, chunk,
+                        label="content-decrypt-chunk")
+                    previous_block = chunk[-16:]
+                    if offset + chunk_octets >= len(ciphertext):
+                        clear = unpad(clear)
+                    yield clear
+
+        return stream()
+
+    def export(self, content_id: str, target_system: str
+               ) -> "ExportResult":
+        """Export content to another DRM system (REL ``<export>``).
+
+        Performs the full per-access unlock (same cryptographic cost as
+        a consumption), verifies the EXPORT permission and its target
+        constraint, and — for *move* exports — deletes the local rights
+        afterwards, per the REL semantics.
+        """
+        with self.crypto.in_phase(Phase.CONSUMPTION):
+            installed = self.storage.find_ro_for_content(content_id)
+            evaluator = RightsEvaluator(installed.ro.rights)
+            permission = evaluator.check(PermissionType.EXPORT,
+                                         installed.state,
+                                         self.drm_time())
+            constraint = next(
+                (c for c in permission.constraints
+                 if isinstance(c, ExportConstraint)), None)
+            mode = ExportMode.COPY
+            if constraint is not None:
+                if not constraint.permits_target(target_system):
+                    raise PermissionDeniedError(
+                        "export to %r is not authorized" % target_system
+                    )
+                mode = constraint.mode
+
+            dcf = self.storage.get_dcf(content_id)
+            if installed.c2dev is not None:
+                key_material = self.crypto.aes_unwrap(
+                    self.secure.kdev, installed.c2dev,
+                    label="c2dev-unwrap")
+            else:
+                key_material = self.crypto.kem_decrypt(
+                    self.secure.device_private_key,
+                    installed.kem_ciphertext,
+                    label="c-unwrap-per-access")
+            kmac, krek = key_material[:16], key_material[16:32]
+            if not self.crypto.hmac_verify(
+                    kmac, installed.ro.payload_bytes(), installed.mac,
+                    label="ro-mac"):
+                raise IntegrityError("Rights Object MAC check failed")
+            asset = installed.ro.asset_for(content_id)
+            self._verify_dcf_hash(asset.dcf_hash, dcf)
+            kcek = self.crypto.aes_unwrap(krek, asset.wrapped_kcek,
+                                          label="kcek-unwrap")
+            clear = self.crypto.aes_cbc_decrypt(kcek, dcf.iv,
+                                                dcf.encrypted_data,
+                                                label="content-decrypt")
+            evaluator.consume(PermissionType.EXPORT, installed.state,
+                              self.drm_time())
+            if mode is ExportMode.MOVE:
+                # Surrender local rights: the RO leaves this device and
+                # its replay-cache entry keeps it from coming back.
+                del self.storage.installed_ros[installed.ro_id]
+            return ExportResult(
+                content_id=content_id, target_system=target_system,
+                mode=mode, clear_content=clear,
+            )
+
+    # ------------------------------------------------------------------
+    # Domains (paper §2.3)
+    # ------------------------------------------------------------------
+    def join_domain(self, rights_issuer, domain_id: str) -> DomainContext:
+        """Join a domain: receive the domain key over the PKI channel.
+
+        The domain key is immediately re-wrapped under ``K_DEV`` for
+        storage, mirroring the C2dev optimization.
+        """
+        with self.crypto.in_phase(Phase.REGISTRATION):
+            context = self.storage.get_ri_context(rights_issuer.ri_id,
+                                                  self.drm_time())
+            device_nonce = new_nonce(self.crypto)
+            unsigned = JoinDomainRequest(
+                device_id=self.device_id, ri_id=context.ri_id,
+                domain_id=domain_id, device_nonce=device_nonce,
+                request_time=self.drm_time(),
+            )
+            request = JoinDomainRequest(
+                device_id=unsigned.device_id, ri_id=unsigned.ri_id,
+                domain_id=unsigned.domain_id,
+                device_nonce=unsigned.device_nonce,
+                request_time=unsigned.request_time,
+                signature=self.crypto.pss_sign(
+                    self.secure.device_private_key, unsigned.tbs_bytes()),
+            )
+            response = rights_issuer.join_domain(request)
+            if response.status != ROAP_STATUS_OK:
+                raise RegistrationError(
+                    "domain join refused: %s" % response.status
+                )
+            if response.device_nonce != device_nonce:
+                raise NonceMismatchError(
+                    "JoinDomainResponse does not echo our nonce"
+                )
+            self.crypto.pss_verify(context.ri_certificate.public_key,
+                                   response.tbs_bytes(),
+                                   response.signature)
+            modulus_octets = \
+                self.secure.device_private_key.modulus_octets
+            kem_ciphertext = KemCiphertext.split(
+                response.protected_domain_key, modulus_octets)
+            domain_key = self.crypto.kem_decrypt(
+                self.secure.device_private_key, kem_ciphertext)
+            wrapped = self.crypto.aes_wrap(self.secure.kdev, domain_key)
+            domain_context = DomainContext(
+                domain_id=response.domain_id,
+                ri_id=rights_issuer.ri_id,
+                wrapped_domain_key=wrapped,
+                joined_at=self.drm_time(),
+            )
+            self.storage.store_domain_context(domain_context)
+            return domain_context
+
+    def leave_domain(self, rights_issuer, domain_id: str) -> None:
+        """Leave a domain: signed 2-pass exchange, then forget the key.
+
+        After this the device can no longer install or consume Domain
+        ROs of that domain (its wrapped domain key is erased).
+        """
+        with self.crypto.in_phase(Phase.REGISTRATION):
+            context = self.storage.get_ri_context(rights_issuer.ri_id,
+                                                  self.drm_time())
+            self.storage.get_domain_context(domain_id)  # must be member
+            device_nonce = new_nonce(self.crypto)
+            unsigned = LeaveDomainRequest(
+                device_id=self.device_id, ri_id=context.ri_id,
+                domain_id=domain_id, device_nonce=device_nonce,
+                request_time=self.drm_time(),
+            )
+            request = LeaveDomainRequest(
+                device_id=unsigned.device_id, ri_id=unsigned.ri_id,
+                domain_id=unsigned.domain_id,
+                device_nonce=unsigned.device_nonce,
+                request_time=unsigned.request_time,
+                signature=self.crypto.pss_sign(
+                    self.secure.device_private_key, unsigned.tbs_bytes(),
+                    label="sign-leave-domain"),
+            )
+            response = rights_issuer.leave_domain(request)
+            if response.status != ROAP_STATUS_OK:
+                raise RegistrationError(
+                    "domain leave refused: %s" % response.status
+                )
+            if response.device_nonce != device_nonce:
+                raise NonceMismatchError(
+                    "LeaveDomainResponse does not echo our nonce"
+                )
+            self.crypto.pss_verify(context.ri_certificate.public_key,
+                                   response.tbs_bytes(),
+                                   response.signature,
+                                   label="verify-leave-domain")
+            self.storage.remove_domain_context(domain_id)
+
+    # ------------------------------------------------------------------
+    # ROAP triggers (RI-initiated exchanges)
+    # ------------------------------------------------------------------
+    def handle_trigger(self, trigger: RoapTrigger, rights_issuer):
+        """Act on a pushed ROAP trigger.
+
+        The trigger signature is verified against the RI Context when one
+        exists; a registration trigger may arrive before any context (it
+        merely invites the device to establish trust, which the 4-pass
+        registration then does properly).
+        """
+        context = self.storage.ri_contexts.get(trigger.ri_id)
+        if context is not None:
+            self.crypto.pss_verify(context.ri_certificate.public_key,
+                                   trigger.tbs_bytes(),
+                                   trigger.signature,
+                                   label="verify-trigger")
+        elif trigger.type is not TriggerType.REGISTRATION:
+            raise RegistrationError(
+                "trigger %r requires an existing RI Context"
+                % trigger.type.value
+            )
+        if trigger.type is TriggerType.REGISTRATION:
+            return self.register(rights_issuer)
+        if trigger.type is TriggerType.RO_ACQUISITION:
+            return self.acquire(rights_issuer, trigger.ro_id,
+                                domain_id=trigger.domain_id)
+        if trigger.type is TriggerType.JOIN_DOMAIN:
+            return self.join_domain(rights_issuer, trigger.domain_id)
+        if trigger.type is TriggerType.LEAVE_DOMAIN:
+            return self.leave_domain(rights_issuer, trigger.domain_id)
+        raise RegistrationError(
+            "unsupported trigger type %r" % (trigger.type,))

@@ -1,0 +1,105 @@
+"""Rights Object backup and restore.
+
+OMA DRM 2 permits backing up Rights Objects to removable media or a PC:
+the stored form is useless elsewhere (all keys ride inside ``C2dev``,
+wrapped under the device-bound ``K_DEV``), so confidentiality is free.
+The subtle rule is about *state*: restoring a stateful RO (count or
+interval constraints) would roll its consumption state back — the same
+attack the replay cache blocks at installation — so the standard allows
+restore for **stateless** ROs only.
+
+The backup blob is integrity-protected with HMAC-SHA1 under ``K_DEV``:
+a tampered or foreign backup is rejected before anything is restored.
+"""
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from .errors import IntegrityError
+from .rel import (CountConstraint, IntervalConstraint, Rights,
+                  RightsState)
+from .ro import InstalledRightsObject
+from .roap.wire import rights_object_from_payload
+from . import serialize
+
+
+def is_stateful(rights: Rights) -> bool:
+    """Whether a rights grant carries consumable state."""
+    for permission in rights.permissions:
+        for constraint in permission.constraints:
+            if isinstance(constraint, (CountConstraint,
+                                       IntervalConstraint)):
+                return True
+    return False
+
+
+@dataclass
+class RestoreReport:
+    """Outcome of one restore operation."""
+
+    restored: List[str]
+    skipped_stateful: List[str]
+    already_present: List[str]
+
+
+def backup_ros(agent) -> bytes:
+    """Serialize every installed RO into a device-bound backup blob."""
+    records = []
+    for installed in agent.storage.installed_ros.values():
+        records.append({
+            "ro_payload": installed.ro.payload_bytes(),
+            "c2dev": installed.c2dev,
+            "mac": installed.mac,
+        })
+    body = serialize.encode({"version": 1, "records": records})
+    tag = agent.crypto.hmac_sha1(agent.secure.kdev, body,
+                                 label="backup-mac")
+    return serialize.encode({"body": body, "tag": tag})
+
+
+def restore_ros(agent, blob: bytes) -> RestoreReport:
+    """Restore ROs from a backup blob made by this device.
+
+    Verifies the device-bound MAC, then restores stateless ROs that are
+    not currently installed. Stateful ROs are reported but never
+    restored (state-rollback defense); ROs still present are left
+    untouched.
+    """
+    outer = serialize.decode(blob)
+    body, tag = outer["body"], outer["tag"]
+    if not agent.crypto.hmac_verify(agent.secure.kdev, body, tag,
+                                    label="backup-mac"):
+        raise IntegrityError(
+            "backup blob failed its device-bound integrity check"
+        )
+    data = serialize.decode(body)
+    if data.get("version") != 1:
+        raise IntegrityError("unsupported backup version")
+
+    report = RestoreReport(restored=[], skipped_stateful=[],
+                           already_present=[])
+    for record in data["records"]:
+        ro = rights_object_from_payload(record["ro_payload"])
+        if ro.ro_id in agent.storage.installed_ros:
+            report.already_present.append(ro.ro_id)
+            continue
+        if is_stateful(ro.rights):
+            report.skipped_stateful.append(ro.ro_id)
+            continue
+        installed = InstalledRightsObject(
+            ro=ro, c2dev=record["c2dev"], mac=record["mac"],
+            state=RightsState(),
+        )
+        agent.storage.store_ro(installed)
+        report.restored.append(ro.ro_id)
+    return report
+
+
+def _backup_record_ids(blob: bytes) -> Tuple[str, ...]:
+    """RO ids inside a backup blob (no MAC check — inspection only)."""
+    outer = serialize.decode(blob)
+    data = serialize.decode(outer["body"])
+    return tuple(
+        rights_object_from_payload(r["ro_payload"]).ro_id
+        for r in data["records"]
+    )

@@ -1,0 +1,35 @@
+"""Simulation clock shared by all DRM actors.
+
+Certificates, OCSP responses and datetime/interval rights constraints all
+need a common notion of time. Real terminals use DRM Time (a secure clock
+the RI can resync); the simulation uses an explicit integer-second clock so
+tests can fast-forward deterministically.
+"""
+
+
+class SimulationClock:
+    """Monotonic integer-second clock with explicit advancement."""
+
+    def __init__(self, now: int = 1_100_000_000) -> None:
+        # The default is an arbitrary epoch in late 2004 — the period in
+        # which the paper's measurements are set.
+        if now < 0:
+            raise ValueError("clock must start at a non-negative time")
+        self._now = now
+
+    @property
+    def now(self) -> int:
+        """Current simulation time in seconds."""
+        return self._now
+
+    def advance(self, seconds: int) -> int:
+        """Move time forward; returns the new time."""
+        if seconds < 0:
+            raise ValueError("the simulation clock cannot move backwards")
+        self._now += seconds
+        return self._now
+
+
+#: One day / one year in seconds, for validity windows.
+DAY = 86_400
+YEAR = 365 * DAY

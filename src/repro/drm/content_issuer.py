@@ -1,0 +1,84 @@
+"""The Content Issuer: packages content into DCFs and licenses it to RIs.
+
+The paper's actor diagram (Figure 1): the CI owns digital content and
+negotiates licenses with one or more Rights Issuers over "any protocol" —
+the negotiation itself is outside the standard's scope, so the model
+exposes it as a direct method call that hands the RI the content key and
+DCF hash it needs to mint Rights Objects.
+"""
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from .dcf import DCF, MultipartDCF, PreviewContainer, package_content
+
+
+@dataclass(frozen=True)
+class LicenseGrant:
+    """What the CI hands an RI during license negotiation."""
+
+    content_id: str
+    kcek: bytes
+    dcf_hash: bytes
+
+
+class ContentIssuer:
+    """Owns clear content; produces DCFs and license grants."""
+
+    def __init__(self, name: str, crypto) -> None:
+        self.name = name
+        self._crypto = crypto
+        self._kceks: Dict[str, bytes] = {}
+        self._dcfs: Dict[str, DCF] = {}
+
+    def publish(self, content_id: str, content_type: str,
+                clear_content: bytes, rights_issuer_url: str,
+                metadata: Dict[str, str] = None) -> DCF:
+        """Encrypt ``clear_content`` under a fresh K_CEK into a DCF.
+
+        The DCF can be superdistributed freely — only a Rights Object can
+        unlock it.
+        """
+        kcek = self._crypto.random_bytes(16)
+        dcf = package_content(
+            content_id=content_id, content_type=content_type,
+            clear_content=clear_content, kcek=kcek,
+            rights_issuer_url=rights_issuer_url, crypto=self._crypto,
+            metadata=metadata,
+        )
+        self._kceks[content_id] = kcek
+        self._dcfs[content_id] = dcf
+        return dcf
+
+    def get_dcf(self, content_id: str) -> DCF:
+        """A published DCF (what a download/superdistribution delivers)."""
+        return self._dcfs[content_id]
+
+    def publish_multipart(self, items: Sequence[Tuple[str, str, bytes]],
+                          rights_issuer_url: str,
+                          preview: Optional[PreviewContainer] = None
+                          ) -> MultipartDCF:
+        """Package several content items into one multipart DCF.
+
+        ``items`` are ``(content_id, content_type, clear_content)``
+        triples; each gets its own container and fresh ``K_CEK``. The
+        optional ``preview`` rides along in clear (rights-free).
+        """
+        containers: List[DCF] = [
+            self.publish(content_id, content_type, clear_content,
+                         rights_issuer_url)
+            for content_id, content_type, clear_content in items
+        ]
+        return MultipartDCF(containers=tuple(containers), preview=preview)
+
+    def negotiate_license(self, content_id: str) -> LicenseGrant:
+        """Hand an RI the key material for ``content_id``.
+
+        Models the out-of-scope CI-RI license negotiation of Figure 1.
+        """
+        dcf = self._dcfs[content_id]
+        return LicenseGrant(
+            content_id=content_id,
+            kcek=self._kceks[content_id],
+            dcf_hash=self._crypto.sha1(dcf.to_bytes()),
+        )

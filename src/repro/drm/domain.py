@@ -1,0 +1,83 @@
+"""Domain management on the Rights Issuer side.
+
+A domain lets a group of devices share licenses (paper §2.3): during the
+domain-join registration the RI uses the PKI mechanism to deliver a secret
+symmetric domain key to each trusted member device. Any member can then
+unwrap ``K_REK`` of any Domain RO acquired by any member — including
+"Unconnected Devices" such as portable mp3 players that never talk to the
+RI directly.
+"""
+
+from dataclasses import dataclass, field
+from typing import Dict, Set
+
+from .errors import DomainError
+
+#: Domain keys are 128-bit AES keys.
+DOMAIN_KEY_LENGTH = 16
+
+
+@dataclass
+class Domain:
+    """One domain: its shared key and member roster."""
+
+    domain_id: str
+    key: bytes
+    members: Set[str] = field(default_factory=set)
+    max_members: int = 10
+
+    def add_member(self, device_id: str) -> None:
+        """Enroll a device; enforces the domain size policy."""
+        if len(self.members) >= self.max_members \
+                and device_id not in self.members:
+            raise DomainError(
+                "domain %r is full (%d members)"
+                % (self.domain_id, self.max_members)
+            )
+        self.members.add(device_id)
+
+    def remove_member(self, device_id: str) -> None:
+        """Drop a device from the roster (LeaveDomain)."""
+        self.members.discard(device_id)
+
+
+class DomainManager:
+    """Creates domains and tracks membership for one Rights Issuer."""
+
+    def __init__(self, crypto) -> None:
+        self._crypto = crypto
+        self._domains: Dict[str, Domain] = {}
+
+    def create(self, domain_id: str, max_members: int = 10) -> Domain:
+        """Create a domain with a fresh random key."""
+        if domain_id in self._domains:
+            raise DomainError("domain %r already exists" % domain_id)
+        domain = Domain(
+            domain_id=domain_id,
+            key=self._crypto.random_bytes(DOMAIN_KEY_LENGTH),
+            max_members=max_members,
+        )
+        self._domains[domain_id] = domain
+        return domain
+
+    def get(self, domain_id: str) -> Domain:
+        """Look up a domain; raises :class:`DomainError` if unknown."""
+        try:
+            return self._domains[domain_id]
+        except KeyError:
+            raise DomainError("unknown domain %r" % domain_id) from None
+
+    def join(self, domain_id: str, device_id: str) -> Domain:
+        """Enroll ``device_id`` and return the domain (key included)."""
+        domain = self.get(domain_id)
+        domain.add_member(device_id)
+        return domain
+
+    def leave(self, domain_id: str, device_id: str) -> None:
+        """Remove ``device_id`` from the domain."""
+        self.get(domain_id).remove_member(device_id)
+
+    def is_member(self, domain_id: str, device_id: str) -> bool:
+        """Whether ``device_id`` belongs to ``domain_id``."""
+        domain = self._domains.get(domain_id)
+        return domain is not None and device_id in domain.members

@@ -1,0 +1,59 @@
+"""Exception hierarchy for the OMA DRM 2 system model.
+
+All protocol, trust and rights failures derive from :class:`DRMError`.
+The hierarchy distinguishes the failure classes the standard treats
+differently: trust establishment, message integrity, rights evaluation and
+protocol state.
+"""
+
+
+class DRMError(Exception):
+    """Base class for all DRM-layer errors."""
+
+
+class TrustError(DRMError):
+    """A certificate chain, OCSP response or signature check failed."""
+
+
+class CertificateExpiredError(TrustError):
+    """A certificate is outside its validity window."""
+
+
+class CertificateRevokedError(TrustError):
+    """A certificate is revoked (per CA state or OCSP response)."""
+
+
+class RegistrationError(DRMError):
+    """The 4-pass ROAP registration failed."""
+
+
+class NotRegisteredError(DRMError):
+    """An operation requires a valid RI Context that does not exist."""
+
+
+class NonceMismatchError(DRMError):
+    """A ROAP response did not echo the expected nonce (replay defense)."""
+
+
+class AcquisitionError(DRMError):
+    """RO acquisition failed (unknown license, bad status, bad signature)."""
+
+
+class IntegrityError(DRMError):
+    """Rights Object MAC or DCF hash verification failed."""
+
+
+class InstallationError(DRMError):
+    """The Rights Object could not be installed on the device."""
+
+
+class PermissionDeniedError(DRMError):
+    """The Rights Object does not grant the requested usage."""
+
+
+class UnknownContentError(DRMError):
+    """No DCF or installed Rights Object matches the requested content."""
+
+
+class DomainError(DRMError):
+    """Domain registration/management failed."""

@@ -1,0 +1,47 @@
+"""Identifier conventions and protocol constants.
+
+OMA DRM 2 identifies actors by URIs and content by ``cid:`` content IDs.
+The model keeps identifiers as plain strings with small helpers to build
+well-formed ones, plus the algorithm-suite constants the ROAP hello
+messages advertise (paper §2.4.5 — the mandated default algorithms).
+"""
+
+#: ROAP schema version advertised in hello messages.
+ROAP_VERSION = "2.0"
+
+#: The default algorithm suite of OMA DRM 2 (paper §2.4.5).
+DEFAULT_ALGORITHMS = (
+    "SHA-1",
+    "HMAC-SHA1",
+    "AES-128-WRAP",
+    "AES-128-CBC",
+    "RSA-PSS",
+    "KDF2",
+    "RSA-1024",
+)
+
+
+def device_id(name: str) -> str:
+    """A device identifier (the hash-of-public-key URI in the standard)."""
+    return "device:%s" % name
+
+
+def rights_issuer_id(name: str) -> str:
+    """A Rights Issuer identifier URI."""
+    return "ri:%s" % name
+
+
+def content_id(name: str) -> str:
+    """A ``cid:`` content identifier as used inside DCFs and ROs."""
+    return "cid:%s" % name
+
+
+def rights_object_id(name: str) -> str:
+    """A Rights Object identifier."""
+    return "ro:%s" % name
+
+
+def domain_id(name: str) -> str:
+    """A domain identifier; the standard reserves the last 3 digits for
+    the domain generation (we model generation 0)."""
+    return "domain:%s+000" % name

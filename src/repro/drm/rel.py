@@ -1,0 +1,287 @@
+"""Rights Expression Language (REL) subset: permissions and constraints.
+
+OMA DRM 2's REL grants permissions (play, display, execute, print, export)
+optionally bounded by constraints (count, datetime window, accumulated
+interval). The model implements the stateful core the use cases exercise:
+
+* :class:`CountConstraint` — at most N accesses (the Ringtone use case's
+  25 calls fit naturally here),
+* :class:`DatetimeConstraint` — absolute validity window,
+* :class:`IntervalConstraint` — duration from first use.
+
+Constraint *state* (remaining count, first-use time) lives in
+:class:`RightsState`, kept by the DRM Agent's storage — the rights
+expression itself is immutable and is what the RO's MAC covers.
+"""
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from . import serialize
+from .errors import PermissionDeniedError
+
+
+class PermissionType(enum.Enum):
+    """The REL permission verbs."""
+
+    PLAY = "play"
+    DISPLAY = "display"
+    EXECUTE = "execute"
+    PRINT = "print"
+    EXPORT = "export"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+@dataclass(frozen=True)
+class CountConstraint:
+    """Permit at most ``count`` uses."""
+
+    count: int
+
+    def describe(self) -> dict:
+        """Canonical-encodable representation."""
+        return {"type": "count", "count": self.count}
+
+
+@dataclass(frozen=True)
+class DatetimeConstraint:
+    """Permit use only inside an absolute time window."""
+
+    not_before: Optional[int] = None
+    not_after: Optional[int] = None
+
+    def describe(self) -> dict:
+        """Canonical-encodable representation."""
+        return {"type": "datetime", "not_before": self.not_before,
+                "not_after": self.not_after}
+
+
+@dataclass(frozen=True)
+class IntervalConstraint:
+    """Permit use for ``duration`` seconds starting at first use."""
+
+    duration: int
+
+    def describe(self) -> dict:
+        """Canonical-encodable representation."""
+        return {"type": "interval", "duration": self.duration}
+
+
+class ExportMode(enum.Enum):
+    """REL export modes: copy keeps the local rights, move surrenders
+    them to the target system."""
+
+    COPY = "copy"
+    MOVE = "move"
+
+
+@dataclass(frozen=True)
+class ExportConstraint:
+    """Restrict EXPORT to named target DRM systems.
+
+    OMA DRM 2's ``<export>`` element lets an RO authorize re-protection
+    of the content under another DRM system (e.g. a removable-media
+    scheme); ``mode`` distinguishes *copy* (local rights remain) from
+    *move* (local rights are deleted after export).
+    """
+
+    target_systems: Tuple[str, ...]
+    mode: ExportMode = ExportMode.COPY
+
+    def permits_target(self, target_system: str) -> bool:
+        """Whether exporting to ``target_system`` is authorized."""
+        return target_system in self.target_systems
+
+    def describe(self) -> dict:
+        """Canonical-encodable representation."""
+        return {"type": "export",
+                "targets": list(self.target_systems),
+                "mode": self.mode.value}
+
+
+@dataclass(frozen=True)
+class Permission:
+    """One permission verb with its constraints (all must hold)."""
+
+    type: PermissionType
+    constraints: Tuple = ()
+
+    def describe(self) -> dict:
+        """Canonical-encodable representation."""
+        return {
+            "permission": self.type.value,
+            "constraints": [c.describe() for c in self.constraints],
+        }
+
+
+@dataclass(frozen=True)
+class Rights:
+    """The full grant of an RO: a set of permissions."""
+
+    permissions: Tuple[Permission, ...]
+
+    def to_bytes(self) -> bytes:
+        """Canonical bytes (covered by the RO's MAC and signature)."""
+        return serialize.encode(
+            [p.describe() for p in self.permissions]
+        )
+
+    def find(self, permission_type: PermissionType) -> Permission:
+        """The permission granting ``permission_type``; raises if absent."""
+        for permission in self.permissions:
+            if permission.type == permission_type:
+                return permission
+        raise PermissionDeniedError(
+            "rights grant no %r permission" % permission_type.value
+        )
+
+
+def unlimited(permission_type: PermissionType = PermissionType.PLAY
+              ) -> Rights:
+    """Rights granting one unconstrained permission."""
+    return Rights(permissions=(Permission(permission_type),))
+
+
+def play_count(count: int) -> Rights:
+    """Rights granting PLAY at most ``count`` times."""
+    return Rights(permissions=(
+        Permission(PermissionType.PLAY, (CountConstraint(count),)),
+    ))
+
+
+@dataclass
+class RightsState:
+    """Mutable per-RO constraint state, kept in device storage."""
+
+    remaining_counts: Dict[PermissionType, int] = field(default_factory=dict)
+    first_use: Dict[PermissionType, int] = field(default_factory=dict)
+
+    def snapshot(self) -> "RightsState":
+        """A defensive copy (e.g. for pre-flight evaluation)."""
+        return RightsState(dict(self.remaining_counts),
+                           dict(self.first_use))
+
+
+class RightsEvaluator:
+    """Evaluates and consumes permissions against a state and a clock."""
+
+    def __init__(self, rights: Rights) -> None:
+        self.rights = rights
+
+    def initial_state(self) -> RightsState:
+        """State a fresh installation starts with."""
+        state = RightsState()
+        for permission in self.rights.permissions:
+            for constraint in permission.constraints:
+                if isinstance(constraint, CountConstraint):
+                    state.remaining_counts[permission.type] = \
+                        constraint.count
+        return state
+
+    def check(self, permission_type: PermissionType, state: RightsState,
+              now: int) -> Permission:
+        """Verify ``permission_type`` is currently allowed.
+
+        Raises :class:`PermissionDeniedError` with a reason otherwise.
+        """
+        permission = self.rights.find(permission_type)
+        for constraint in permission.constraints:
+            self._check_constraint(constraint, permission_type, state, now)
+        return permission
+
+    @staticmethod
+    def _check_constraint(constraint, permission_type: PermissionType,
+                          state: RightsState, now: int) -> None:
+        if isinstance(constraint, CountConstraint):
+            remaining = state.remaining_counts.get(permission_type, 0)
+            if remaining <= 0:
+                raise PermissionDeniedError(
+                    "count constraint exhausted for %r"
+                    % permission_type.value
+                )
+        elif isinstance(constraint, DatetimeConstraint):
+            if constraint.not_before is not None \
+                    and now < constraint.not_before:
+                raise PermissionDeniedError("rights not yet valid")
+            if constraint.not_after is not None \
+                    and now > constraint.not_after:
+                raise PermissionDeniedError("rights have expired")
+        elif isinstance(constraint, IntervalConstraint):
+            started = state.first_use.get(permission_type)
+            if started is not None \
+                    and now > started + constraint.duration:
+                raise PermissionDeniedError(
+                    "interval constraint expired for %r"
+                    % permission_type.value
+                )
+        elif isinstance(constraint, ExportConstraint):
+            pass  # target checks happen at export time (needs the target)
+        else:
+            raise PermissionDeniedError(
+                "unknown constraint type %r" % type(constraint).__name__
+            )
+
+    def consume(self, permission_type: PermissionType, state: RightsState,
+                now: int) -> None:
+        """Check and then commit one use (decrement counts, set first-use)."""
+        self.check(permission_type, state, now)
+        if permission_type in state.remaining_counts:
+            state.remaining_counts[permission_type] -= 1
+        state.first_use.setdefault(permission_type, now)
+
+
+def constraint_from_dict(data: dict):
+    """Rebuild one constraint from its :meth:`describe` form."""
+    kind = data.get("type")
+    if kind == "count":
+        return CountConstraint(count=int(data["count"]))
+    if kind == "datetime":
+        return DatetimeConstraint(not_before=data.get("not_before"),
+                                  not_after=data.get("not_after"))
+    if kind == "interval":
+        return IntervalConstraint(duration=int(data["duration"]))
+    if kind == "export":
+        return ExportConstraint(
+            target_systems=tuple(data["targets"]),
+            mode=ExportMode(data["mode"]),
+        )
+    raise ValueError("unknown constraint type %r" % (kind,))
+
+
+def permission_from_dict(data: dict) -> Permission:
+    """Rebuild one permission from its :meth:`describe` form."""
+    return Permission(
+        type=PermissionType(data["permission"]),
+        constraints=tuple(constraint_from_dict(c)
+                          for c in data["constraints"]),
+    )
+
+
+def rights_from_bytes(blob: bytes) -> Rights:
+    """Inverse of :meth:`Rights.to_bytes` (wire decoding)."""
+    described = serialize.decode(blob)
+    if not isinstance(described, list):
+        raise ValueError("rights blob does not decode to a list")
+    return Rights(permissions=tuple(
+        permission_from_dict(p) for p in described
+    ))
+
+
+def export_rights(targets: Tuple[str, ...],
+                  mode: ExportMode = ExportMode.COPY,
+                  play_permission: bool = True) -> Rights:
+    """Rights granting EXPORT to ``targets`` (plus PLAY by default)."""
+    permissions = []
+    if play_permission:
+        permissions.append(Permission(PermissionType.PLAY))
+    permissions.append(Permission(
+        PermissionType.EXPORT, (ExportConstraint(targets, mode),)))
+    return Rights(permissions=tuple(permissions))
+
+
+#: Constraint classes exported for isinstance checks and construction.
+CONSTRAINT_TYPES = (CountConstraint, DatetimeConstraint,
+                    IntervalConstraint, ExportConstraint)

@@ -1,0 +1,25 @@
+"""The Rights Object Acquisition Protocol (ROAP).
+
+ROAP is the communication protocol between DRM Agent and Rights Issuer
+(paper §2): the 4-pass registration (DeviceHello, RIHello,
+RegistrationRequest, RegistrationResponse), the 2-pass RO acquisition
+(RORequest, ROResponse) and the 2-pass domain join
+(JoinDomainRequest/Response).
+"""
+
+from .messages import (DeviceHello, JoinDomainRequest, JoinDomainResponse,
+                       LeaveDomainRequest, LeaveDomainResponse,
+                       RegistrationRequest, RegistrationResponse, RIHello,
+                       ROAP_STATUS_OK, RORequest, ROResponse, new_nonce)
+from .triggers import RoapTrigger, TriggerType, make_trigger
+from .wire import (MessageLog, WireChannel, WireRecord, decode_message,
+                   encode_message)
+
+__all__ = [
+    "DeviceHello", "JoinDomainRequest", "JoinDomainResponse",
+    "LeaveDomainRequest", "LeaveDomainResponse", "RegistrationRequest",
+    "RegistrationResponse", "RIHello", "ROAP_STATUS_OK", "RORequest",
+    "ROResponse", "new_nonce", "RoapTrigger", "TriggerType",
+    "make_trigger", "MessageLog", "WireChannel", "WireRecord",
+    "decode_message", "encode_message",
+]

@@ -1,0 +1,149 @@
+"""Device-side storage model.
+
+The standard leaves RO/DCF storage details to the CA's robustness rules;
+the obvious common requirement (paper §2.4.3) is that content and rights
+are stored securely. The model splits storage in two:
+
+* :class:`SecureStorage` — the scarce, costly on-chip secure memory. Only
+  the device key ``K_DEV`` and the device's RSA private key live here.
+* :class:`DeviceStorage` — ordinary flash. DCFs (always encrypted),
+  installed ROs (keys wrapped in ``C2dev``), RI Contexts and domain
+  contexts are safe here because everything sensitive is wrapped.
+"""
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from ..crypto.rsa import RSAPrivateKey
+from .certificates import Certificate
+from .dcf import DCF
+from .errors import NotRegisteredError, UnknownContentError
+from .ro import InstalledRightsObject
+
+
+@dataclass
+class RIContext:
+    """The trusted relationship with one RI, from the agent's viewpoint.
+
+    Created by a successful 4-pass registration; its existence, integrity
+    and validity must be verified before any further interaction with that
+    RI (paper §2.4.1).
+    """
+
+    ri_id: str
+    ri_certificate: Certificate
+    session_id: str
+    registered_at: int
+    expires_at: int
+    selected_algorithms: tuple
+
+    def is_valid(self, now: int) -> bool:
+        """Whether the context can still be used at time ``now``."""
+        return now <= self.expires_at
+
+
+@dataclass
+class DomainContext:
+    """Membership in one domain: the shared key, wrapped under K_DEV."""
+
+    domain_id: str
+    ri_id: str
+    wrapped_domain_key: bytes
+    joined_at: int
+
+
+@dataclass
+class SecureStorage:
+    """On-chip secure memory: the only place clear device secrets live."""
+
+    device_private_key: Optional[RSAPrivateKey] = None
+    kdev: Optional[bytes] = None
+
+
+@dataclass
+class DeviceStorage:
+    """Ordinary device storage for wrapped/encrypted DRM state.
+
+    ``replay_cache`` records the GUIDs of every RO ever installed, so a
+    stateful RO cannot be re-installed to reset its constraint state
+    (the standard's RO replay protection).
+    """
+
+    dcfs: Dict[str, DCF] = field(default_factory=dict)
+    installed_ros: Dict[str, InstalledRightsObject] = \
+        field(default_factory=dict)
+    ri_contexts: Dict[str, RIContext] = field(default_factory=dict)
+    domain_contexts: Dict[str, DomainContext] = field(default_factory=dict)
+    replay_cache: set = field(default_factory=set)
+
+    # -- DCFs -------------------------------------------------------------
+    def store_dcf(self, dcf: DCF) -> None:
+        """File a (still encrypted) DCF by its content id."""
+        self.dcfs[dcf.content_id] = dcf
+
+    def get_dcf(self, content_id: str) -> DCF:
+        """Look up a DCF; raises :class:`UnknownContentError` if absent."""
+        try:
+            return self.dcfs[content_id]
+        except KeyError:
+            raise UnknownContentError(
+                "no DCF stored for %r" % content_id) from None
+
+    # -- installed ROs ----------------------------------------------------
+    def store_ro(self, installed: InstalledRightsObject) -> None:
+        """File an installed RO by its RO id."""
+        self.installed_ros[installed.ro_id] = installed
+
+    def find_ro_for_content(self, content_id: str) -> InstalledRightsObject:
+        """The first installed RO governing ``content_id``."""
+        for installed in self.installed_ros.values():
+            if installed.covers(content_id):
+                return installed
+        raise UnknownContentError(
+            "no installed Rights Object for %r" % content_id
+        )
+
+    # -- RI contexts ------------------------------------------------------
+    def store_ri_context(self, context: RIContext) -> None:
+        """File the trusted-RI record established by registration."""
+        self.ri_contexts[context.ri_id] = context
+
+    def get_ri_context(self, ri_id: str, now: int) -> RIContext:
+        """The valid RI Context for ``ri_id``; raises if absent/expired."""
+        context = self.ri_contexts.get(ri_id)
+        if context is None:
+            raise NotRegisteredError(
+                "no RI Context for %r — register first" % ri_id
+            )
+        if not context.is_valid(now):
+            raise NotRegisteredError(
+                "RI Context for %r expired — re-register" % ri_id
+            )
+        return context
+
+    # -- domain contexts ---------------------------------------------------
+    def store_domain_context(self, context: DomainContext) -> None:
+        """File a domain membership record."""
+        self.domain_contexts[context.domain_id] = context
+
+    def get_domain_context(self, domain_id: str) -> DomainContext:
+        """The domain context for ``domain_id``; raises if not a member."""
+        context = self.domain_contexts.get(domain_id)
+        if context is None:
+            raise NotRegisteredError(
+                "device is not a member of domain %r" % domain_id
+            )
+        return context
+
+    def remove_domain_context(self, domain_id: str) -> None:
+        """Forget a domain membership (LeaveDomain)."""
+        self.domain_contexts.pop(domain_id, None)
+
+    # -- replay protection ---------------------------------------------------
+    def seen_before(self, ro_guid: tuple) -> bool:
+        """Whether this exact minted RO was installed before."""
+        return ro_guid in self.replay_cache
+
+    def remember(self, ro_guid: tuple) -> None:
+        """Record an installation in the replay cache."""
+        self.replay_cache.add(ro_guid)

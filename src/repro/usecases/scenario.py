@@ -1,0 +1,64 @@
+"""Use-case descriptions — the paper's evaluation workloads (§4).
+
+A :class:`UseCase` is everything the end-to-end runner needs: content
+size and type, number of accesses, and the rights grant. The two paper
+workloads live in :mod:`repro.usecases.catalog`; custom ones are a
+constructor call away.
+"""
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from ..drm.rel import Rights, play_count
+
+#: 1 KiB / 1 MiB in octets.
+KIB = 1024
+MIB = 1024 * KIB
+
+
+@dataclass(frozen=True)
+class UseCase:
+    """One evaluation workload.
+
+    ``accesses`` counts content consumptions after install (5 listens for
+    the Music Player, 25 ring events for the Ringtone). ``rights`` default
+    to a play-count grant matching ``accesses`` so the REL state machine
+    is exercised to exhaustion.
+    """
+
+    name: str
+    content_octets: int
+    accesses: int
+    content_type: str = "application/octet-stream"
+    rights: Optional[Rights] = None
+    metadata: Dict[str, str] = field(default_factory=dict)
+    domain: bool = False
+
+    def __post_init__(self) -> None:
+        if self.content_octets <= 0:
+            raise ValueError("content size must be positive")
+        if self.accesses < 0:
+            raise ValueError("access count must be non-negative")
+
+    def effective_rights(self) -> Rights:
+        """The rights grant to mint into the RO."""
+        if self.rights is not None:
+            return self.rights
+        return play_count(max(self.accesses, 1))
+
+    def scaled(self, content_octets: int,
+               accesses: Optional[int] = None) -> "UseCase":
+        """A copy with a different content size (and optionally accesses).
+
+        Used to run the functional model at laptop-friendly sizes while
+        the workload scaler restores paper-scale numbers in the trace.
+        """
+        return UseCase(
+            name=self.name,
+            content_octets=content_octets,
+            accesses=self.accesses if accesses is None else accesses,
+            content_type=self.content_type,
+            rights=self.rights,
+            metadata=dict(self.metadata),
+            domain=self.domain,
+        )

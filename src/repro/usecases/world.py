@@ -1,0 +1,123 @@
+"""World construction: wire up the full actor constellation of Figure 1.
+
+A :class:`DRMWorld` contains one Certification Authority with an OCSP
+responder, one Rights Issuer, one Content Issuer and one terminal (DRM
+Agent). Only the agent's crypto provider is metered — the paper prices
+the *terminal's* processing, never the servers'.
+
+All randomness derives from one seed string, so every world (keys,
+nonces, IVs, message bytes) is fully reproducible.
+"""
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..core.costs import CostOptions
+from ..core.meter import MeteredCrypto, PlainCrypto
+from ..crypto.rng import HmacDrbg
+from ..crypto.rsa import generate_keypair
+from ..drm.agent import DRMAgent
+from ..drm.certificates import CertificationAuthority
+from ..drm.clock import SimulationClock
+from ..drm.content_issuer import ContentIssuer
+from ..drm.identifiers import device_id, rights_issuer_id
+from ..drm.ocsp import OCSPResponder
+from ..drm.rights_issuer import RightsIssuer
+
+#: RSA modulus size mandated by OMA DRM 2 (paper §2.4.5).
+RSA_BITS = 1024
+
+
+@dataclass
+class DRMWorld:
+    """One complete, wired-up OMA DRM 2 deployment."""
+
+    clock: SimulationClock
+    ca: CertificationAuthority
+    ocsp: OCSPResponder
+    ri: RightsIssuer
+    ci: ContentIssuer
+    agent: DRMAgent
+    agent_crypto: PlainCrypto
+
+    @classmethod
+    def create(cls, seed: str = "repro-world", metered: bool = True,
+               options: CostOptions = CostOptions(),
+               sign_device_ros: bool = False,
+               verify_dcf_on_install: bool = False,
+               kdev_optimization: bool = True,
+               rsa_bits: int = RSA_BITS,
+               clock: Optional[SimulationClock] = None) -> "DRMWorld":
+        """Build a deterministic world from ``seed``.
+
+        ``metered=True`` gives the agent a :class:`MeteredCrypto` provider
+        whose trace the caller can price; servers always run un-metered.
+        ``rsa_bits`` can be lowered (e.g. to 512) to speed up unit tests
+        that don't depend on the 1024-bit default.
+        """
+        clock = clock if clock is not None else SimulationClock()
+        server_crypto = PlainCrypto(HmacDrbg((seed + "/server").encode()))
+        if metered:
+            agent_crypto: PlainCrypto = MeteredCrypto(
+                HmacDrbg((seed + "/agent").encode()), options=options)
+        else:
+            agent_crypto = PlainCrypto(
+                HmacDrbg((seed + "/agent").encode()))
+
+        ca_keys = generate_keypair(rsa_bits, server_crypto.rng)
+        ca = CertificationAuthority("cmla-root", ca_keys, server_crypto,
+                                    now=clock.now)
+        ocsp_keys = generate_keypair(rsa_bits, server_crypto.rng)
+        ocsp = OCSPResponder("cmla-ocsp", ca, ocsp_keys, server_crypto,
+                             now=clock.now)
+
+        ri_keys = generate_keypair(rsa_bits, server_crypto.rng)
+        ri = RightsIssuer(
+            ri_id=rights_issuer_id("acme-media"), keypair=ri_keys, ca=ca,
+            ocsp_responder=ocsp, crypto=server_crypto, clock=clock,
+            sign_device_ros=sign_device_ros,
+        )
+        ci = ContentIssuer("bigtunes", server_crypto)
+
+        agent_keys = generate_keypair(rsa_bits, agent_crypto.rng)
+        agent_id = device_id("terminal-1")
+        agent_cert = ca.issue(agent_id, agent_keys.public_key, clock.now)
+        # Trust anchors provisioned at manufacture: the CA root and the
+        # OCSP responder certificate (so OCSP checks cost exactly one
+        # public-key operation, as in the paper's phase accounting).
+        agent = DRMAgent(
+            device_id=agent_id, keypair=agent_keys,
+            certificate=agent_cert,
+            trust_anchors=[ca.root_certificate, ocsp.certificate],
+            crypto=agent_crypto, clock=clock,
+            verify_dcf_on_install=verify_dcf_on_install,
+            kdev_optimization=kdev_optimization,
+        )
+        return cls(clock=clock, ca=ca, ocsp=ocsp, ri=ri, ci=ci,
+                   agent=agent, agent_crypto=agent_crypto)
+
+    def add_device(self, name: str, metered: bool = False,
+                   clock_skew_seconds: int = 0,
+                   rsa_bits: Optional[int] = None) -> DRMAgent:
+        """Provision another terminal into this world.
+
+        The new device gets its own keys, a certificate from this
+        world's CA, and the same provisioned trust anchors — the
+        multi-device setup domain scenarios need. ``metered=True`` gives
+        it its own independent cost trace.
+        """
+        if rsa_bits is None:
+            rsa_bits = self.agent.secure.device_private_key.modulus_bits
+        seed = ("device/" + name).encode()
+        crypto: PlainCrypto = (MeteredCrypto(HmacDrbg(seed)) if metered
+                               else PlainCrypto(HmacDrbg(seed)))
+        keys = generate_keypair(rsa_bits, crypto.rng)
+        identity = device_id(name)
+        certificate = self.ca.issue(identity, keys.public_key,
+                                    self.clock.now)
+        return DRMAgent(
+            device_id=identity, keypair=keys, certificate=certificate,
+            trust_anchors=list(self.agent.trust_anchors),
+            crypto=crypto, clock=self.clock,
+            clock_skew_seconds=clock_skew_seconds,
+        )

@@ -1,0 +1,38 @@
+"""The in-text quantitative claims of paper section 4."""
+
+import pytest
+
+from repro.analysis import claims
+
+
+@pytest.fixture(scope="module")
+def result():
+    return claims.generate()
+
+
+def test_pki_totals_roughly_600ms(result):
+    """'they total to roughly 600ms' — we allow 600 +/- 30 ms."""
+    assert result.pki_ms_music == pytest.approx(600, abs=30)
+    assert result.pki_ms_ringtone == pytest.approx(600, abs=30)
+
+
+def test_pki_identical_across_use_cases(result):
+    """'the absolute figures are identical for both use cases'."""
+    assert result.pki_identical_across_use_cases
+    assert result.pki_ms_music == result.pki_ms_ringtone
+
+
+def test_exact_pki_cycle_budget(result):
+    """3 private + 4 public ops: 121.86 M cycles = 609.3 ms at 200 MHz."""
+    expected_ms = (3 * 37_740_000 + 4 * 2_160_000) / 200_000
+    assert result.pki_ms_music == pytest.approx(expected_ms)
+
+
+def test_music_speedup_almost_a_tenth(result):
+    assert result.music_sw_over_swhw == pytest.approx(10.0, abs=2.0)
+
+
+def test_render(result):
+    text = result.render()
+    assert "~600 ms" in text
+    assert "Measured" in text

@@ -1,0 +1,125 @@
+"""Figures 5, 6 and 7: shapes, orderings and closeness to the paper.
+
+Reproduction tolerance: our substrate regenerates the workload from the
+protocol structure rather than the authors' Java model, so absolute values
+may drift a few percent; every assertion here allows 10 % except where the
+paper's claim is qualitative (orderings, dominance), which must hold
+exactly.
+"""
+
+import pytest
+
+from repro.analysis import figure5, figure6, figure7
+
+TOLERANCE = 0.10
+
+
+@pytest.fixture(scope="module")
+def fig5():
+    return figure5.generate()
+
+
+@pytest.fixture(scope="module")
+def fig6():
+    return figure6.generate()
+
+
+@pytest.fixture(scope="module")
+def fig7():
+    return figure7.generate()
+
+
+# -- Figure 5 --------------------------------------------------------------
+
+def test_fig5_shares_sum_to_one(fig5):
+    for label in ("Ringtone", "Music Player"):
+        assert sum(fig5.shares[label].values()) == pytest.approx(1.0)
+
+
+def test_fig5_ringtone_dominated_by_pki_private(fig5):
+    shares = fig5.shares["Ringtone"]
+    assert shares["PKI Private Key Operation"] == max(shares.values())
+    assert shares["PKI Private Key Operation"] > 0.5
+
+
+def test_fig5_music_dominated_by_bulk_crypto(fig5):
+    shares = fig5.shares["Music Player"]
+    assert shares["AES Decryption"] == max(shares.values())
+    assert shares["AES Decryption"] + shares["SHA-1"] > 0.85
+    assert shares["PKI Public Key Operation"] < 0.02
+
+
+def test_fig5_close_to_paper_reading(fig5):
+    for use_case, expected in figure5.PAPER_SHARES.items():
+        for category, share in expected.items():
+            measured = fig5.shares[use_case][category]
+            assert measured == pytest.approx(share, abs=0.05), \
+                "%s / %s" % (use_case, category)
+
+
+def test_fig5_render(fig5):
+    text = fig5.render()
+    assert "Ringtone" in text and "Music Player" in text
+    assert "PKI Private Key Operation" in text
+
+
+# -- Figure 6 --------------------------------------------------------------
+
+def test_fig6_within_tolerance(fig6):
+    for name, paper_value in figure6.PAPER_MS.items():
+        measured = fig6.measured_ms[name]
+        assert abs(measured - paper_value) / paper_value < TOLERANCE, \
+            "%s: %.1f vs paper %.1f" % (name, measured, paper_value)
+
+
+def test_fig6_ordering(fig6):
+    assert fig6.measured_ms["SW"] > fig6.measured_ms["SW/HW"] \
+        > fig6.measured_ms["HW"]
+
+
+def test_fig6_aes_sha_macros_cut_to_a_tenth(fig6):
+    """'total processing time can be cut to almost a tenth' (paper §4)."""
+    ratio = fig6.measured_ms["SW"] / fig6.measured_ms["SW/HW"]
+    assert 8.0 < ratio < 12.0
+
+
+def test_fig6_render(fig6):
+    text = fig6.render()
+    assert "Figure 6" in text
+    assert "paper: 7730" in text
+    assert "deviation" in text
+
+
+# -- Figure 7 --------------------------------------------------------------
+
+def test_fig7_within_tolerance(fig7):
+    for name, paper_value in figure7.PAPER_MS.items():
+        measured = fig7.measured_ms[name]
+        assert abs(measured - paper_value) / paper_value < TOLERANCE, \
+            "%s: %.1f vs paper %.1f" % (name, measured, paper_value)
+
+
+def test_fig7_significant_step_is_pki_hardware(fig7):
+    """'the significant step occurs when providing PKI hardware support'."""
+    sw_to_swhw = fig7.measured_ms["SW"] / fig7.measured_ms["SW/HW"]
+    swhw_to_hw = fig7.measured_ms["SW/HW"] / fig7.measured_ms["HW"]
+    assert swhw_to_hw > 10 * sw_to_swhw
+
+
+def test_fig7_pki_times_identical_to_fig6_registration(fig6, fig7):
+    """PKI work is DCF-size independent: the SW/HW bars differ only by
+    the (small) hardware-accelerated bulk work."""
+    assert fig7.measured_ms["SW/HW"] < fig6.measured_ms["SW/HW"]
+
+
+def test_fig7_render(fig7):
+    text = fig7.render()
+    assert "Figure 7" in text
+    assert "paper: 12" in text
+
+
+# -- cross-figure consistency ----------------------------------------------
+
+def test_music_slower_than_ringtone_everywhere(fig6, fig7):
+    for name in ("SW", "SW/HW", "HW"):
+        assert fig6.measured_ms[name] > fig7.measured_ms[name]

@@ -1,0 +1,72 @@
+"""ASCII rendering helpers."""
+
+import pytest
+
+from repro.analysis.formatting import (deviation_pct, format_log_bars,
+                                       format_ms, format_stacked_shares,
+                                       format_table)
+
+
+def test_format_table_alignment():
+    text = format_table(("A", "Bee"), [("1", "2"), ("333", "4")],
+                        title="T")
+    lines = text.splitlines()
+    assert lines[0] == "T"
+    assert lines[2].startswith("A")
+    assert "333" in lines[-1]
+    # The second column starts at the same offset in header and rows.
+    header_offset = lines[2].index("Bee")
+    assert lines[4][header_offset] == "2"
+    assert lines[5][header_offset] == "4"
+
+
+def test_format_table_rejects_ragged_rows():
+    with pytest.raises(ValueError):
+        format_table(("A", "B"), [("only-one",)])
+
+
+def test_format_log_bars_monotone_length():
+    text = format_log_bars(["SW", "HW"], [7730.0, 190.0])
+    sw_line, hw_line = text.splitlines()
+    assert sw_line.count("#") > hw_line.count("#")
+    assert "7730.0 ms" in sw_line
+
+
+def test_format_log_bars_with_paper_values():
+    text = format_log_bars(["SW"], [7665.0], paper_values=[7730.0])
+    assert "(paper: 7730 ms)" in text
+
+
+def test_format_log_bars_rejects_nonpositive():
+    with pytest.raises(ValueError):
+        format_log_bars(["A"], [0.0])
+    with pytest.raises(ValueError):
+        format_log_bars(["A", "B"], [1.0])
+
+
+def test_format_stacked_shares():
+    text = format_stacked_shares(
+        labels=["Ringtone"], categories=["P", "Q"],
+        shares=[[0.75, 0.25]], width=40,
+    )
+    assert "75.0%" in text
+    assert "25.0%" in text
+    assert "legend:" in text
+
+
+def test_format_stacked_shares_rejects_zero_total():
+    with pytest.raises(ValueError):
+        format_stacked_shares(["x"], ["a"], [[0.0]])
+
+
+def test_format_ms_precision():
+    assert format_ms(7730.4) == "7730"
+    assert format_ms(12.34) == "12.3"
+    assert format_ms(0.0123) == "0.012"
+
+
+def test_deviation_pct():
+    assert deviation_pct(110.0, 100.0) == pytest.approx(10.0)
+    assert deviation_pct(90.0, 100.0) == pytest.approx(-10.0)
+    with pytest.raises(ValueError):
+        deviation_pct(1.0, 0.0)

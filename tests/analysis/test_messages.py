@@ -1,0 +1,49 @@
+"""The ROAP message-size experiment."""
+
+import pytest
+
+from repro.analysis import messages
+
+
+@pytest.fixture(scope="module")
+def result():
+    return messages.generate(seed="msg-tests")
+
+
+def test_exchange_structure(result):
+    totals = result.by_message()
+    for name in messages.MESSAGE_ORDER:
+        count, octets = totals[name]
+        assert count == 1
+        assert octets > 0
+
+
+def test_certificate_messages_dominate(result):
+    totals = result.by_message()
+    assert totals["RegistrationResponse"][1] == max(
+        octets for _, octets in totals.values())
+    assert totals["DeviceHello"][1] == min(
+        octets for _, octets in totals.values())
+
+
+def test_sizes_are_plausible(result):
+    """Canonical encoding: hellos in the hundreds of octets, the
+    certificate/OCSP-bearing response around a kilobyte."""
+    totals = result.by_message()
+    assert 100 <= totals["DeviceHello"][1] <= 500
+    assert 800 <= totals["RegistrationResponse"][1] <= 2500
+    assert 2000 <= result.log.total_octets() <= 10_000
+
+
+def test_render(result):
+    text = result.render()
+    assert "ROAP message sizes" in text
+    assert "TOTAL" in text
+    for name in messages.MESSAGE_ORDER:
+        assert name in text
+
+
+def test_deterministic():
+    a = messages.generate(seed="same")
+    b = messages.generate(seed="same")
+    assert a.by_message() == b.by_message()

@@ -1,0 +1,35 @@
+"""Experiment table1: the rendered table matches the paper."""
+
+from repro.analysis import table1
+from repro.core.costs import CostTable, LinearCost, SOFTWARE_COSTS
+from repro.core.trace import Algorithm
+
+
+def test_generate_matches_paper():
+    result = table1.generate()
+    assert result.matches_paper
+    assert result.mismatches == []
+    assert len(result.rows) == 6
+
+
+def test_render_contains_all_rows():
+    text = table1.generate().render()
+    for name in ("AES Encryption", "AES Decryption", "SHA-1",
+                 "HMAC SHA-1", "RSA 1024 Public Key Op",
+                 "RSA 1024 Private Key Op"):
+        assert name in text
+    assert "all entries match the paper" in text
+    assert "360 + 830/128 bit" in text
+    assert "37740000/1024 bit" in text
+
+
+def test_detects_database_drift():
+    """A corrupted cost table is flagged, not silently rendered."""
+    corrupted = CostTable(
+        software={**SOFTWARE_COSTS,
+                  Algorithm.SHA1: LinearCost(0, 999)},
+    )
+    result = table1.generate(corrupted)
+    assert not result.matches_paper
+    assert any("SHA-1" in m for m in result.mismatches)
+    assert "MISMATCHES" in result.render()

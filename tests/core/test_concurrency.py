@@ -1,0 +1,82 @@
+"""CPU-offload concurrency model."""
+
+import pytest
+
+from repro.core.architecture import (HW_PROFILE, SW_HW_PROFILE,
+                                     SW_PROFILE)
+from repro.core.concurrency import analyze
+from repro.core.model import PerformanceModel
+from repro.core.trace import (Algorithm, OperationRecord, OperationTrace,
+                              Phase)
+
+
+@pytest.fixture()
+def trace():
+    return OperationTrace([
+        OperationRecord(Algorithm.RSA_PRIVATE, Phase.REGISTRATION, 1, 1),
+        OperationRecord(Algorithm.AES_DECRYPT, Phase.CONSUMPTION, 2,
+                        50_000),
+    ])
+
+
+def test_pure_software_has_no_macro_time(trace):
+    breakdown = PerformanceModel().evaluate(trace, SW_PROFILE)
+    result = analyze(breakdown)
+    assert result.macro_cycles == 0
+    assert result.dispatch_cycles == 0
+    assert result.cpu_cycles == breakdown.total_cycles
+    assert result.cpu_freed_fraction == 0.0
+    assert result.wall_clock_cycles == breakdown.total_cycles
+
+
+def test_pure_hardware_frees_the_cpu(trace):
+    breakdown = PerformanceModel().evaluate(trace, HW_PROFILE)
+    result = analyze(breakdown)
+    assert result.cpu_cycles == 0
+    assert result.macro_cycles == breakdown.total_cycles
+    # Dispatch: 200 cycles x 3 invocations.
+    assert result.dispatch_cycles == 200 * 3
+    assert result.cpu_freed_fraction > 0.99
+
+
+def test_mixed_profile_split(trace):
+    breakdown = PerformanceModel().evaluate(trace, SW_HW_PROFILE)
+    result = analyze(breakdown)
+    by_algorithm = breakdown.cycles_by_algorithm()
+    assert result.cpu_cycles == by_algorithm[Algorithm.RSA_PRIVATE]
+    assert result.macro_cycles == by_algorithm[Algorithm.AES_DECRYPT]
+
+
+def test_overlap_bounds(trace):
+    breakdown = PerformanceModel().evaluate(trace, SW_HW_PROFILE)
+    blocking = analyze(breakdown, overlap=0.0)
+    perfect = analyze(breakdown, overlap=1.0)
+    half = analyze(breakdown, overlap=0.5)
+    assert blocking.wall_clock_cycles == blocking.serial_cycles
+    assert perfect.wall_clock_cycles \
+        == max(perfect.cpu_busy_cycles, perfect.macro_cycles)
+    assert perfect.wall_clock_cycles < half.wall_clock_cycles \
+        < blocking.wall_clock_cycles
+
+
+def test_invalid_parameters(trace):
+    breakdown = PerformanceModel().evaluate(trace, SW_PROFILE)
+    with pytest.raises(ValueError):
+        analyze(breakdown, overlap=1.5)
+    with pytest.raises(ValueError):
+        analyze(breakdown, dispatch_cycles_per_op=-1)
+
+
+def test_wall_clock_ms(trace):
+    breakdown = PerformanceModel().evaluate(trace, SW_PROFILE)
+    result = analyze(breakdown)
+    assert result.wall_clock_ms \
+        == pytest.approx(breakdown.total_ms)
+    assert result.cpu_busy_ms == pytest.approx(breakdown.total_ms)
+
+
+def test_empty_breakdown():
+    breakdown = PerformanceModel().evaluate(OperationTrace(), SW_PROFILE)
+    result = analyze(breakdown)
+    assert result.wall_clock_cycles == 0
+    assert result.cpu_freed_fraction == 0.0

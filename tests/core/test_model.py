@@ -1,0 +1,79 @@
+"""Trace pricing: CostBreakdown arithmetic and profile comparison."""
+
+import pytest
+
+from repro.core.architecture import HW_PROFILE, PAPER_PROFILES, SW_PROFILE
+from repro.core.costs import Implementation
+from repro.core.model import PerformanceModel
+from repro.core.trace import (Algorithm, OperationRecord, OperationTrace,
+                              Phase)
+
+
+@pytest.fixture()
+def trace():
+    return OperationTrace([
+        OperationRecord(Algorithm.RSA_PRIVATE, Phase.REGISTRATION, 1, 1),
+        OperationRecord(Algorithm.SHA1, Phase.CONSUMPTION, 1, 1920),
+        OperationRecord(Algorithm.AES_DECRYPT, Phase.CONSUMPTION, 1,
+                        1920),
+    ])
+
+
+def test_evaluate_total_cycles_sw(trace):
+    breakdown = PerformanceModel().evaluate(trace, SW_PROFILE)
+    expected = 37_740_000 + 1920 * 400 + (950 + 1920 * 830)
+    assert breakdown.total_cycles == expected
+    assert breakdown.total_ms == pytest.approx(expected / 200_000)
+    assert breakdown.total_seconds == pytest.approx(expected / 2e8)
+
+
+def test_evaluate_total_cycles_hw(trace):
+    breakdown = PerformanceModel().evaluate(trace, HW_PROFILE)
+    expected = 260_000 + 1920 * 20 + (10 + 1920 * 10)
+    assert breakdown.total_cycles == expected
+
+
+def test_implementation_attribution(trace):
+    breakdown = PerformanceModel().evaluate(trace, SW_PROFILE)
+    assert all(op.implementation == Implementation.SOFTWARE
+               for op in breakdown.operations)
+    hw = PerformanceModel().evaluate(trace, HW_PROFILE)
+    assert all(op.implementation == Implementation.HARDWARE
+               for op in hw.operations)
+
+
+def test_cycles_by_algorithm(trace):
+    breakdown = PerformanceModel().evaluate(trace, SW_PROFILE)
+    by_algorithm = breakdown.cycles_by_algorithm()
+    assert by_algorithm[Algorithm.RSA_PRIVATE] == 37_740_000
+    assert by_algorithm[Algorithm.SHA1] == 768_000
+
+
+def test_cycles_by_phase(trace):
+    breakdown = PerformanceModel().evaluate(trace, SW_PROFILE)
+    by_phase = breakdown.cycles_by_phase()
+    assert by_phase[Phase.REGISTRATION] == 37_740_000
+    assert by_phase[Phase.CONSUMPTION] \
+        == breakdown.total_cycles - 37_740_000
+    ms = breakdown.ms_by_phase()
+    assert ms[Phase.REGISTRATION] == pytest.approx(188.7)
+
+
+def test_share_by_algorithm_sums_to_one(trace):
+    shares = PerformanceModel().evaluate(trace,
+                                         SW_PROFILE).share_by_algorithm()
+    assert sum(shares.values()) == pytest.approx(1.0)
+
+
+def test_empty_trace():
+    breakdown = PerformanceModel().evaluate(OperationTrace(), SW_PROFILE)
+    assert breakdown.total_cycles == 0
+    assert breakdown.total_ms == 0.0
+    assert breakdown.share_by_algorithm() == {}
+
+
+def test_compare_returns_one_breakdown_per_profile(trace):
+    breakdowns = PerformanceModel().compare(trace, PAPER_PROFILES)
+    assert [b.profile.name for b in breakdowns] == ["SW", "SW/HW", "HW"]
+    totals = [b.total_cycles for b in breakdowns]
+    assert totals[0] > totals[1] > totals[2]

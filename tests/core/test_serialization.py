@@ -1,0 +1,93 @@
+"""Trace and breakdown JSON serialization."""
+
+import json
+
+import pytest
+
+from repro.core.architecture import SW_PROFILE
+from repro.core.model import PerformanceModel
+from repro.core.serialization import (breakdown_to_dict, dump_breakdown,
+                                      dump_trace, load_trace,
+                                      trace_from_dict, trace_to_dict)
+from repro.core.trace import (Algorithm, OperationRecord, OperationTrace,
+                              Phase)
+
+
+@pytest.fixture()
+def trace():
+    return OperationTrace([
+        OperationRecord(Algorithm.SHA1, Phase.CONSUMPTION, 1, 1920,
+                        "dcf-hash"),
+        OperationRecord(Algorithm.RSA_PRIVATE, Phase.REGISTRATION, 1, 1,
+                        "sign"),
+    ])
+
+
+def test_dict_roundtrip(trace):
+    rebuilt = trace_from_dict(trace_to_dict(trace))
+    assert rebuilt.records == trace.records
+
+
+def test_file_roundtrip(trace, tmp_path):
+    path = str(tmp_path / "trace.json")
+    dump_trace(trace, path)
+    rebuilt = load_trace(path)
+    assert rebuilt.records == trace.records
+    # And the file is real, valid JSON.
+    with open(path) as handle:
+        raw = json.load(handle)
+    assert raw["kind"] == "operation-trace"
+
+
+def test_rejects_wrong_kind(trace):
+    data = trace_to_dict(trace)
+    data["kind"] = "something-else"
+    with pytest.raises(ValueError):
+        trace_from_dict(data)
+
+
+def test_rejects_wrong_schema(trace):
+    data = trace_to_dict(trace)
+    data["schema"] = 99
+    with pytest.raises(ValueError):
+        trace_from_dict(data)
+
+
+def test_rejects_malformed_record(trace):
+    data = trace_to_dict(trace)
+    data["records"][0]["algorithm"] = "rot13"
+    with pytest.raises(ValueError):
+        trace_from_dict(data)
+    data = trace_to_dict(trace)
+    del data["records"][0]["blocks"]
+    with pytest.raises(ValueError):
+        trace_from_dict(data)
+
+
+def test_empty_trace_roundtrip():
+    rebuilt = trace_from_dict(trace_to_dict(OperationTrace()))
+    assert len(rebuilt) == 0
+
+
+def test_breakdown_export(trace, tmp_path):
+    breakdown = PerformanceModel().evaluate(trace, SW_PROFILE)
+    data = breakdown_to_dict(breakdown)
+    assert data["profile"] == "SW"
+    assert data["total_cycles"] == breakdown.total_cycles
+    assert data["by_algorithm_cycles"]["rsa-1024-private"] == 37_740_000
+    assert data["by_phase_cycles"]["registration"] == 37_740_000
+    assert len(data["operations"]) == 2
+    path = str(tmp_path / "breakdown.json")
+    dump_breakdown(breakdown, path)
+    with open(path) as handle:
+        assert json.load(handle)["kind"] == "cost-breakdown"
+
+
+def test_serialized_trace_reprices_identically(trace, tmp_path):
+    """The exchange-currency property: price before == price after."""
+    model = PerformanceModel()
+    before = model.evaluate(trace, SW_PROFILE).total_cycles
+    path = str(tmp_path / "t.json")
+    dump_trace(trace, path)
+    after = model.evaluate(load_trace(path), SW_PROFILE).total_cycles
+    assert before == after

@@ -1,0 +1,57 @@
+"""Workload sweeps and CSV export."""
+
+import pytest
+
+from repro.core.sweep import (SweepPoint, WorkloadSweep, points_to_csv,
+                              write_csv)
+from repro.usecases.scenario import UseCase
+from repro.usecases.workload import WorkloadScaler
+
+
+@pytest.fixture(scope="module")
+def scaler():
+    template = UseCase(name="sweep", content_octets=1024, accesses=1)
+    return WorkloadScaler(template, seed="sweep-tests")
+
+
+def test_grid_shape(scaler):
+    sweep = WorkloadSweep(scaler)
+    points = sweep.run(sizes_octets=[1024, 4096], accesses=[1, 5])
+    assert len(points) == 2 * 2 * 3  # sizes x accesses x architectures
+    architectures = {p.architecture for p in points}
+    assert architectures == {"SW", "SW/HW", "HW"}
+
+
+def test_monotonicity(scaler):
+    sweep = WorkloadSweep(scaler)
+    points = sweep.run(sizes_octets=[1024, 65536], accesses=[1])
+    sw = {p.content_octets: p.total_ms for p in points
+          if p.architecture == "SW"}
+    assert sw[65536] > sw[1024]
+
+
+def test_cycles_time_consistency(scaler):
+    sweep = WorkloadSweep(scaler)
+    for point in sweep.run(sizes_octets=[2048], accesses=[3]):
+        assert point.total_ms == pytest.approx(
+            point.total_cycles / 200_000)
+
+
+def test_csv_rendering():
+    points = [SweepPoint(1024, 5, "SW", 12.5, 2_500_000)]
+    text = points_to_csv(points)
+    lines = text.strip().splitlines()
+    assert lines[0] == ("content_octets,accesses,architecture,"
+                        "total_ms,total_cycles")
+    assert lines[1] == "1024,5,SW,12.500000,2500000"
+
+
+def test_write_csv(tmp_path, scaler):
+    sweep = WorkloadSweep(scaler)
+    points = sweep.run(sizes_octets=[1024], accesses=[1])
+    path = str(tmp_path / "sweep.csv")
+    write_csv(points, path)
+    with open(path) as handle:
+        content = handle.read()
+    assert content.count("\n") == len(points) + 1
+    assert "SW/HW" in content

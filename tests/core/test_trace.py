@@ -1,0 +1,105 @@
+"""Operation traces: records, aggregation, canonical form."""
+
+import pytest
+
+from repro.core.trace import (Algorithm, OperationRecord, OperationTrace,
+                              Phase)
+
+
+def record(algorithm=Algorithm.SHA1, phase=Phase.CONSUMPTION,
+           invocations=1, blocks=10, label="x"):
+    return OperationRecord(algorithm=algorithm, phase=phase,
+                           invocations=invocations, blocks=blocks,
+                           label=label)
+
+
+def test_record_rejects_negative_counts():
+    with pytest.raises(ValueError):
+        record(invocations=-1)
+    with pytest.raises(ValueError):
+        record(blocks=-1)
+
+
+def test_record_scaled():
+    scaled = record(invocations=2, blocks=5).scaled(3)
+    assert scaled.invocations == 6
+    assert scaled.blocks == 15
+    assert scaled.algorithm is Algorithm.SHA1
+    with pytest.raises(ValueError):
+        record().scaled(-1)
+
+
+def test_trace_append_extend_len_iter():
+    trace = OperationTrace()
+    trace.append(record())
+    trace.extend([record(), record()])
+    assert len(trace) == 3
+    assert all(r.label == "x" for r in trace)
+
+
+def test_trace_concatenation():
+    a = OperationTrace([record(label="a")])
+    b = OperationTrace([record(label="b")])
+    combined = a + b
+    assert [r.label for r in combined] == ["a", "b"]
+    assert len(a) == 1  # originals untouched
+
+
+def test_filter_by_algorithm_and_phase():
+    trace = OperationTrace([
+        record(Algorithm.SHA1, Phase.REGISTRATION),
+        record(Algorithm.SHA1, Phase.CONSUMPTION),
+        record(Algorithm.AES_DECRYPT, Phase.CONSUMPTION),
+    ])
+    assert len(trace.filter(algorithm=Algorithm.SHA1)) == 2
+    assert len(trace.filter(phase=Phase.CONSUMPTION)) == 2
+    assert len(trace.filter(algorithm=Algorithm.SHA1,
+                            phase=Phase.CONSUMPTION)) == 1
+
+
+def test_totals_by_algorithm():
+    trace = OperationTrace([
+        record(Algorithm.SHA1, invocations=1, blocks=10),
+        record(Algorithm.SHA1, invocations=2, blocks=20),
+        record(Algorithm.RSA_PRIVATE, invocations=1, blocks=1),
+    ])
+    totals = trace.totals_by_algorithm()
+    assert totals[Algorithm.SHA1] == (3, 30)
+    assert totals[Algorithm.RSA_PRIVATE] == (1, 1)
+
+
+def test_totals_by_phase():
+    trace = OperationTrace([
+        record(phase=Phase.REGISTRATION, blocks=5),
+        record(phase=Phase.REGISTRATION, blocks=7),
+        record(phase=Phase.INSTALLATION, blocks=1),
+    ])
+    totals = trace.totals_by_phase()
+    assert totals[Phase.REGISTRATION] == (2, 12)
+    assert totals[Phase.INSTALLATION] == (1, 1)
+
+
+def test_aggregated_merges_same_key_preserving_order():
+    trace = OperationTrace([
+        record(label="a", blocks=1),
+        record(label="b", blocks=2),
+        record(label="a", blocks=3),
+    ])
+    aggregated = trace.aggregated()
+    assert len(aggregated) == 2
+    assert aggregated.records[0].label == "a"
+    assert aggregated.records[0].blocks == 4
+    assert aggregated.records[1].label == "b"
+
+
+def test_canonical_ignores_labels_and_batching():
+    a = OperationTrace([record(label="x", blocks=3),
+                        record(label="y", blocks=4)])
+    b = OperationTrace([record(label="z", invocations=2, blocks=7)])
+    assert a.canonical() == b.canonical()
+
+
+def test_canonical_distinguishes_work():
+    a = OperationTrace([record(blocks=3)])
+    b = OperationTrace([record(blocks=4)])
+    assert a.canonical() != b.canonical()

@@ -1,0 +1,77 @@
+"""PKCS#1 integer/octet-string primitives and byte utilities."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto.encoding import (byte_length, constant_time_equal, i2osp,
+                                   os2ip, xor_bytes)
+from repro.crypto.errors import MessageTooLongError
+
+
+def test_i2osp_known_values():
+    assert i2osp(0, 1) == b"\x00"
+    assert i2osp(255, 1) == b"\xff"
+    assert i2osp(256, 2) == b"\x01\x00"
+    assert i2osp(0, 4) == b"\x00\x00\x00\x00"
+
+
+def test_i2osp_rejects_overflow():
+    with pytest.raises(MessageTooLongError):
+        i2osp(256, 1)
+
+
+def test_i2osp_rejects_negative():
+    with pytest.raises(ValueError):
+        i2osp(-1, 4)
+    with pytest.raises(ValueError):
+        i2osp(1, -1)
+
+
+def test_os2ip_known_values():
+    assert os2ip(b"\x01\x00") == 256
+    assert os2ip(b"") == 0
+    assert os2ip(b"\x00\x00\xff") == 255
+
+
+def test_byte_length():
+    assert byte_length(0) == 1
+    assert byte_length(255) == 1
+    assert byte_length(256) == 2
+    assert byte_length(1 << 1023) == 128
+    with pytest.raises(ValueError):
+        byte_length(-1)
+
+
+def test_xor_bytes():
+    assert xor_bytes(b"\x0f\xf0", b"\xff\xff") == b"\xf0\x0f"
+    with pytest.raises(ValueError):
+        xor_bytes(b"a", b"ab")
+
+
+def test_constant_time_equal():
+    assert constant_time_equal(b"same", b"same")
+    assert not constant_time_equal(b"same", b"Same")
+    assert not constant_time_equal(b"short", b"longer")
+    assert constant_time_equal(b"", b"")
+
+
+@given(value=st.integers(min_value=0, max_value=(1 << 256) - 1))
+@settings(max_examples=100, deadline=None)
+def test_i2osp_os2ip_roundtrip(value):
+    assert os2ip(i2osp(value, 32)) == value
+
+
+@given(data=st.binary(min_size=0, max_size=64))
+@settings(max_examples=100, deadline=None)
+def test_os2ip_i2osp_roundtrip(data):
+    # Leading zeros are not preserved by the integer, so compare stripped.
+    value = os2ip(data)
+    assert i2osp(value, len(data) or 1).lstrip(b"\x00") \
+        == data.lstrip(b"\x00")
+
+
+@given(a=st.binary(min_size=0, max_size=64))
+@settings(max_examples=50, deadline=None)
+def test_xor_self_is_zero(a):
+    assert xor_bytes(a, a) == bytes(len(a))

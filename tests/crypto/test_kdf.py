@@ -1,0 +1,62 @@
+"""KDF2: structure, determinism and the cost-model invocation count."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto.encoding import i2osp
+from repro.crypto.kdf import kdf2, kdf2_hash_invocations
+from repro.crypto.sha1 import DIGEST_SIZE, sha1
+
+
+def test_output_length():
+    for length in (0, 1, 16, 20, 21, 40, 100):
+        assert len(kdf2(b"secret", length)) == length
+
+
+def test_counter_starts_at_one():
+    """KDF2's defining property versus KDF1: counter begins at 1."""
+    secret = b"Z" * 16
+    assert kdf2(secret, DIGEST_SIZE) == sha1(secret + i2osp(1, 4))
+
+
+def test_second_block_uses_counter_two():
+    secret = b"Z" * 16
+    expected = sha1(secret + i2osp(1, 4)) + sha1(secret + i2osp(2, 4))
+    assert kdf2(secret, 2 * DIGEST_SIZE) == expected
+
+
+def test_truncation_of_final_block():
+    secret = b"Z" * 16
+    assert kdf2(secret, 25) == (
+        sha1(secret + i2osp(1, 4)) + sha1(secret + i2osp(2, 4)))[:25]
+
+
+def test_other_info_changes_output():
+    assert kdf2(b"s", 16, b"ctx-a") != kdf2(b"s", 16, b"ctx-b")
+    assert kdf2(b"s", 16) != kdf2(b"s", 16, b"ctx-a")
+
+
+def test_deterministic():
+    assert kdf2(b"same", 32) == kdf2(b"same", 32)
+
+
+def test_negative_length_rejected():
+    with pytest.raises(ValueError):
+        kdf2(b"s", -1)
+
+
+@pytest.mark.parametrize("length,expected", [
+    (0, 0), (1, 1), (20, 1), (21, 2), (40, 2), (41, 3),
+])
+def test_hash_invocations(length, expected):
+    assert kdf2_hash_invocations(length) == expected
+
+
+@given(secret=st.binary(min_size=1, max_size=200),
+       length=st.integers(min_value=0, max_value=200))
+@settings(max_examples=100, deadline=None)
+def test_prefix_property(secret, length):
+    """Shorter derivations are prefixes of longer ones (same inputs)."""
+    longer = kdf2(secret, 200)
+    assert kdf2(secret, length) == longer[:length]

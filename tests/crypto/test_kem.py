@@ -1,0 +1,102 @@
+"""RSAES-KEM + AES-WRAP: the Figure 3 key-transport chain."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto.errors import CryptoError, DecryptionError, UnwrapError
+from repro.crypto.kem import (KEK_LENGTH, KemCiphertext, kem_decrypt,
+                              kem_encrypt)
+from repro.crypto.rng import HmacDrbg
+from repro.crypto.rsa import generate_keypair
+
+#: The standard payload: K_MAC || K_REK, two 128-bit keys.
+KEY_MATERIAL = b"M" * 16 + b"R" * 16
+
+
+@pytest.fixture(scope="module")
+def keypair():
+    return generate_keypair(1024, HmacDrbg(b"kem-tests"))
+
+
+@pytest.fixture()
+def rng():
+    return HmacDrbg(b"kem-encaps")
+
+
+def test_roundtrip(keypair, rng):
+    ciphertext = kem_encrypt(keypair.public_key, KEY_MATERIAL, rng)
+    assert kem_decrypt(keypair, ciphertext) == KEY_MATERIAL
+
+
+def test_figure3_sizes(keypair, rng):
+    """C1 is exactly 1024 bits; C2 is the 256-bit payload + 64-bit IV."""
+    ciphertext = kem_encrypt(keypair.public_key, KEY_MATERIAL, rng)
+    assert len(ciphertext.c1) == 128
+    assert len(ciphertext.c2) == 40
+    assert len(ciphertext.concatenation()) == 168
+
+
+def test_split_concatenation(keypair, rng):
+    ciphertext = kem_encrypt(keypair.public_key, KEY_MATERIAL, rng)
+    rebuilt = KemCiphertext.split(ciphertext.concatenation(),
+                                  keypair.modulus_octets)
+    assert rebuilt == ciphertext
+    assert kem_decrypt(keypair, rebuilt) == KEY_MATERIAL
+
+
+def test_split_rejects_short_blob(keypair):
+    with pytest.raises(DecryptionError):
+        KemCiphertext.split(b"x" * 100, keypair.modulus_octets)
+
+
+def test_tampered_c1_fails(keypair, rng):
+    ciphertext = kem_encrypt(keypair.public_key, KEY_MATERIAL, rng)
+    bad_c1 = bytearray(ciphertext.c1)
+    bad_c1[50] ^= 0x01
+    tampered = KemCiphertext(c1=bytes(bad_c1), c2=ciphertext.c2)
+    with pytest.raises(CryptoError):
+        kem_decrypt(keypair, tampered)
+
+
+def test_tampered_c2_fails(keypair, rng):
+    ciphertext = kem_encrypt(keypair.public_key, KEY_MATERIAL, rng)
+    bad_c2 = bytearray(ciphertext.c2)
+    bad_c2[10] ^= 0x01
+    tampered = KemCiphertext(c1=ciphertext.c1, c2=bytes(bad_c2))
+    with pytest.raises(UnwrapError):
+        kem_decrypt(keypair, tampered)
+
+
+def test_wrong_private_key_fails(keypair, rng):
+    other = generate_keypair(1024, HmacDrbg(b"other"))
+    ciphertext = kem_encrypt(keypair.public_key, KEY_MATERIAL, rng)
+    with pytest.raises(CryptoError):
+        kem_decrypt(other, ciphertext)
+
+
+def test_wrong_c1_length_rejected(keypair, rng):
+    ciphertext = kem_encrypt(keypair.public_key, KEY_MATERIAL, rng)
+    truncated = KemCiphertext(c1=ciphertext.c1[:-1], c2=ciphertext.c2)
+    with pytest.raises(DecryptionError):
+        kem_decrypt(keypair, truncated)
+
+
+def test_encapsulations_are_randomized(keypair, rng):
+    c1 = kem_encrypt(keypair.public_key, KEY_MATERIAL, rng)
+    c2 = kem_encrypt(keypair.public_key, KEY_MATERIAL, rng)
+    assert c1.c1 != c2.c1  # fresh Z each time
+    assert kem_decrypt(keypair, c1) == kem_decrypt(keypair, c2)
+
+
+def test_kek_length_constant():
+    assert KEK_LENGTH == 16
+
+
+@given(payload=st.binary(min_size=16, max_size=48).filter(
+    lambda b: len(b) % 8 == 0))
+@settings(max_examples=20, deadline=None)
+def test_roundtrip_property(keypair, payload):
+    rng = HmacDrbg(b"prop" + bytes([len(payload)]))
+    ciphertext = kem_encrypt(keypair.public_key, payload, rng)
+    assert kem_decrypt(keypair, ciphertext) == payload

@@ -1,0 +1,62 @@
+"""PKCS#7 padding: boundaries and malformed-pad detection."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto.errors import PaddingError
+from repro.crypto.padding import pad, unpad
+
+
+def test_pad_always_appends():
+    assert pad(b"", 16) == b"\x10" * 16
+    assert pad(b"x" * 16, 16) == b"x" * 16 + b"\x10" * 16
+
+
+def test_pad_partial_block():
+    assert pad(b"abc", 8) == b"abc\x05\x05\x05\x05\x05"
+
+
+def test_unpad_rejects_empty():
+    with pytest.raises(PaddingError):
+        unpad(b"", 16)
+
+
+def test_unpad_rejects_unaligned():
+    with pytest.raises(PaddingError):
+        unpad(b"x" * 15, 16)
+
+
+def test_unpad_rejects_zero_pad_byte():
+    with pytest.raises(PaddingError):
+        unpad(b"x" * 15 + b"\x00", 16)
+
+
+def test_unpad_rejects_oversized_pad_byte():
+    with pytest.raises(PaddingError):
+        unpad(b"x" * 15 + b"\x11", 16)
+
+
+def test_unpad_rejects_inconsistent_padding():
+    data = b"x" * 13 + b"\x02\x01\x03"
+    with pytest.raises(PaddingError):
+        unpad(data, 16)
+
+
+@pytest.mark.parametrize("block_size", [0, 256, -1])
+def test_invalid_block_size(block_size):
+    with pytest.raises(ValueError):
+        pad(b"x", block_size)
+    with pytest.raises(ValueError):
+        unpad(b"x", block_size)
+
+
+@given(data=st.binary(min_size=0, max_size=300),
+       block_size=st.integers(min_value=1, max_value=255))
+@settings(max_examples=200, deadline=None)
+def test_roundtrip(data, block_size):
+    padded = pad(data, block_size)
+    assert len(padded) % block_size == 0
+    assert len(padded) > len(data)
+    assert len(padded) - len(data) <= block_size
+    assert unpad(padded, block_size) == data

@@ -1,0 +1,85 @@
+"""Primality testing and prime generation."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto.primes import generate_prime, is_probable_prime
+from repro.crypto.rng import HmacDrbg
+
+SMALL_PRIMES = [2, 3, 5, 7, 11, 13, 17, 19, 23, 97, 101, 997]
+SMALL_COMPOSITES = [0, 1, 4, 6, 8, 9, 15, 21, 25, 27, 33, 91, 100, 999]
+
+# Carmichael numbers fool Fermat tests; Miller-Rabin must reject them.
+CARMICHAEL = [561, 1105, 1729, 2465, 2821, 6601, 8911, 41041, 62745]
+
+# Known large primes (2^89-1 and 2^107-1 are Mersenne primes).
+LARGE_PRIMES = [
+    (1 << 89) - 1,
+    (1 << 107) - 1,
+    2 ** 255 - 19,  # the Curve25519 prime
+]
+
+
+@pytest.mark.parametrize("n", SMALL_PRIMES)
+def test_small_primes(n):
+    assert is_probable_prime(n)
+
+
+@pytest.mark.parametrize("n", SMALL_COMPOSITES)
+def test_small_composites(n):
+    assert not is_probable_prime(n)
+
+
+@pytest.mark.parametrize("n", CARMICHAEL)
+def test_carmichael_numbers_rejected(n):
+    assert not is_probable_prime(n)
+
+
+@pytest.mark.parametrize("n", LARGE_PRIMES)
+def test_large_primes(n):
+    assert is_probable_prime(n, HmacDrbg(b"witnesses"))
+
+
+def test_large_composite_rejected():
+    composite = ((1 << 89) - 1) * ((1 << 107) - 1)
+    assert not is_probable_prime(composite, HmacDrbg(b"witnesses"))
+
+
+def test_negative_rejected():
+    assert not is_probable_prime(-7)
+
+
+@pytest.mark.parametrize("bits", [16, 64, 256, 512])
+def test_generate_prime_bit_length(bits):
+    rng = HmacDrbg(b"prime-gen")
+    p = generate_prime(bits, rng)
+    assert p.bit_length() == bits
+    assert p % 2 == 1
+    assert is_probable_prime(p, rng)
+
+
+def test_generate_prime_deterministic():
+    assert generate_prime(128, HmacDrbg(b"x")) \
+        == generate_prime(128, HmacDrbg(b"x"))
+
+
+def test_generate_prime_rejects_tiny():
+    with pytest.raises(ValueError):
+        generate_prime(4, HmacDrbg(b"x"))
+
+
+@given(st.integers(min_value=2, max_value=10_000))
+@settings(max_examples=200, deadline=None)
+def test_agrees_with_trial_division(n):
+    def trial(n):
+        if n < 2:
+            return False
+        d = 2
+        while d * d <= n:
+            if n % d == 0:
+                return False
+            d += 1
+        return True
+
+    assert is_probable_prime(n) == trial(n)

@@ -1,0 +1,100 @@
+"""RO backup/restore: device binding and the stateless-only rule."""
+
+import pytest
+
+from repro.drm.backup import backup_ros, is_stateful, restore_ros
+from repro.drm.errors import IntegrityError
+from repro.drm.rel import (DatetimeConstraint, Permission, PermissionType,
+                           Rights, play_count, unlimited)
+
+STATELESS = Rights(permissions=(Permission(
+    PermissionType.PLAY,
+    (DatetimeConstraint(not_after=2_000_000_000),),
+),))
+
+
+def install_pair(world):
+    """One stateless and one stateful license on the device."""
+    for name, rights in (("free", STATELESS), ("metered",
+                                               play_count(3))):
+        cid = "cid:%s" % name
+        dcf = world.ci.publish(cid, "audio/mpeg", b"x" * 200, "u")
+        world.ri.add_offer("ro:%s" % name,
+                           world.ci.negotiate_license(cid), rights)
+    world.agent.register(world.ri)
+    for name in ("free", "metered"):
+        dcf = world.ci.get_dcf("cid:%s" % name)
+        protected = world.agent.acquire(world.ri, "ro:%s" % name)
+        world.agent.install(protected, dcf)
+
+
+def test_is_stateful():
+    assert is_stateful(play_count(3))
+    assert not is_stateful(unlimited())
+    assert not is_stateful(STATELESS)
+
+
+def test_backup_restore_roundtrip_stateless(fast_world):
+    install_pair(fast_world)
+    blob = backup_ros(fast_world.agent)
+    # Simulate loss of the RO store (e.g. a factory reset of flash —
+    # K_DEV lives in secure storage and survives).
+    fast_world.agent.storage.installed_ros.clear()
+    report = restore_ros(fast_world.agent, blob)
+    assert report.restored == ["ro:free"]
+    assert report.skipped_stateful == ["ro:metered"]
+    # The restored stateless RO plays again.
+    result = fast_world.agent.consume("cid:free")
+    assert result.clear_content == b"x" * 200
+
+
+def test_stateful_ro_never_restored(fast_world):
+    """The state-rollback defense: exhaust, wipe, restore — still gone."""
+    from repro.drm.errors import UnknownContentError
+    install_pair(fast_world)
+    for _ in range(3):
+        fast_world.agent.consume("cid:metered")
+    blob = backup_ros(fast_world.agent)
+    fast_world.agent.storage.installed_ros.clear()
+    restore_ros(fast_world.agent, blob)
+    with pytest.raises(UnknownContentError):
+        fast_world.agent.consume("cid:metered")
+
+
+def test_restore_is_idempotent(fast_world):
+    install_pair(fast_world)
+    blob = backup_ros(fast_world.agent)
+    report = restore_ros(fast_world.agent, blob)
+    assert report.restored == []
+    assert set(report.already_present) == {"ro:free", "ro:metered"}
+
+
+def test_tampered_backup_rejected(fast_world):
+    install_pair(fast_world)
+    blob = bytearray(backup_ros(fast_world.agent))
+    blob[len(blob) // 2] ^= 0x01
+    with pytest.raises((IntegrityError, ValueError)):
+        restore_ros(fast_world.agent, bytes(blob))
+
+
+def test_foreign_backup_rejected(fast_world, fast_world_factory):
+    """A backup from one device fails another's K_DEV-bound MAC."""
+    install_pair(fast_world)
+    blob = backup_ros(fast_world.agent)
+    other = fast_world_factory(seed="other-phone")
+    with pytest.raises(IntegrityError):
+        restore_ros(other.agent, blob)
+
+
+def test_restored_ro_keys_still_work_only_here(fast_world):
+    """C2dev inside the backup is K_DEV-bound: restore on the same
+    device re-enables playback with no PKI operation."""
+    from repro.core.trace import Algorithm
+    install_pair(fast_world)
+    blob = backup_ros(fast_world.agent)
+    fast_world.agent.storage.installed_ros.clear()
+    restore_ros(fast_world.agent, blob)
+    fast_world.agent_crypto.reset_trace()
+    fast_world.agent.consume("cid:free")
+    totals = fast_world.agent_crypto.trace.totals_by_algorithm()
+    assert Algorithm.RSA_PRIVATE not in totals

@@ -1,0 +1,115 @@
+"""Per-access consumption: the paper's three steps plus content unlock."""
+
+import dataclasses
+
+import pytest
+
+from repro.core.trace import Algorithm, Phase
+from repro.drm.errors import (IntegrityError, PermissionDeniedError,
+                              UnknownContentError)
+from repro.drm.rel import PermissionType, play_count
+
+from .test_acquisition import offer_license
+
+CONTENT = b"melody-bytes" * 300
+
+
+def install(world, count=5, content=CONTENT):
+    dcf, cid, ro_id = offer_license(world, content=content, count=count)
+    world.agent.register(world.ri)
+    protected = world.agent.acquire(world.ri, ro_id)
+    world.agent.install(protected, dcf)
+    return dcf, cid
+
+
+def test_consume_returns_clear_content(fast_world):
+    dcf, cid = install(fast_world)
+    result = fast_world.agent.consume(cid)
+    assert result.clear_content == CONTENT
+    assert result.content_id == cid
+    assert result.permission is PermissionType.PLAY
+
+
+def test_consume_operation_counts(fast_world):
+    """Each access: C2dev unwrap, RO MAC, DCF hash, KCEK unwrap, decrypt."""
+    dcf, cid = install(fast_world)
+    fast_world.agent_crypto.reset_trace()
+    fast_world.agent.consume(cid)
+    trace = fast_world.agent_crypto.trace
+    assert all(r.phase is Phase.CONSUMPTION for r in trace)
+    labels = [r.label for r in trace]
+    assert labels == ["c2dev-unwrap", "ro-mac", "dcf-hash",
+                      "kcek-unwrap", "content-decrypt"]
+    totals = trace.totals_by_algorithm()
+    assert Algorithm.RSA_PRIVATE not in totals  # K_DEV optimization
+    assert Algorithm.RSA_PUBLIC not in totals
+
+
+def test_consume_decrement_and_exhaustion(fast_world):
+    dcf, cid = install(fast_world, count=3)
+    for _ in range(3):
+        fast_world.agent.consume(cid)
+    with pytest.raises(PermissionDeniedError):
+        fast_world.agent.consume(cid)
+
+
+def test_denied_access_consumes_no_count(fast_world):
+    dcf, cid = install(fast_world, count=1)
+    with pytest.raises(PermissionDeniedError):
+        fast_world.agent.consume(cid, PermissionType.PRINT)
+    # The PLAY count is untouched by the denied PRINT attempt.
+    fast_world.agent.consume(cid)
+
+
+def test_unknown_content_rejected(fast_world):
+    with pytest.raises(UnknownContentError):
+        fast_world.agent.consume("cid:ghost")
+
+
+def test_tampered_dcf_detected_per_access(fast_world):
+    """Step 3 of the paper's consumption checklist."""
+    dcf, cid = install(fast_world)
+    fast_world.agent.storage.store_dcf(dcf.with_tampered_payload())
+    with pytest.raises(IntegrityError):
+        fast_world.agent.consume(cid)
+
+
+def test_tampered_stored_ro_detected_per_access(fast_world):
+    """Step 2: the MAC check runs on every access, not just install."""
+    dcf, cid = install(fast_world, count=5)
+    installed = fast_world.agent.storage.find_ro_for_content(cid)
+    installed.ro = dataclasses.replace(installed.ro,
+                                       rights=play_count(10 ** 6))
+    with pytest.raises(IntegrityError):
+        fast_world.agent.consume(cid)
+
+
+def test_corrupted_c2dev_detected(fast_world):
+    """Step 1: a damaged C2dev fails the key unwrap integrity check."""
+    from repro.crypto.errors import UnwrapError
+    dcf, cid = install(fast_world)
+    installed = fast_world.agent.storage.find_ro_for_content(cid)
+    corrupted = bytearray(installed.c2dev)
+    corrupted[7] ^= 0x01
+    installed.c2dev = bytes(corrupted)
+    with pytest.raises(UnwrapError):
+        fast_world.agent.consume(cid)
+
+
+def test_every_access_repeats_all_checks(fast_world):
+    """The paper's point: small files pay the full cost on every ring."""
+    dcf, cid = install(fast_world, count=4)
+    fast_world.agent_crypto.reset_trace()
+    for _ in range(4):
+        fast_world.agent.consume(cid)
+    trace = fast_world.agent_crypto.trace
+    dcf_hashes = [r for r in trace if r.label == "dcf-hash"]
+    decrypts = [r for r in trace if r.label == "content-decrypt"]
+    assert len(dcf_hashes) == 4
+    assert len(decrypts) == 4
+
+
+def test_consume_display_permission_missing(fast_world):
+    dcf, cid = install(fast_world)
+    with pytest.raises(PermissionDeniedError):
+        fast_world.agent.consume(cid, PermissionType.DISPLAY)

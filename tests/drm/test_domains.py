@@ -1,0 +1,126 @@
+"""Domains: shared licenses across a group of devices (paper §2.3)."""
+
+import pytest
+
+from repro.drm.domain import DomainManager
+from repro.drm.errors import DomainError
+from repro.drm.identifiers import domain_id
+from repro.drm.rel import play_count
+
+DOMAIN = domain_id("family")
+
+
+def setup_domain_license(world, content=b"shared" * 100, count=50):
+    dcf = world.ci.publish("cid:shared", "audio/mpeg", content,
+                           "http://ri.example")
+    world.ri.add_offer("ro:shared",
+                       world.ci.negotiate_license("cid:shared"),
+                       play_count(count))
+    world.ri.create_domain(DOMAIN)
+    return dcf
+
+
+def test_join_domain_stores_context(fast_world):
+    setup_domain_license(fast_world)
+    fast_world.agent.register(fast_world.ri)
+    context = fast_world.agent.join_domain(fast_world.ri, DOMAIN)
+    assert context.domain_id == DOMAIN
+    stored = fast_world.agent.storage.get_domain_context(DOMAIN)
+    assert stored is context
+    assert fast_world.ri.domains.is_member(DOMAIN,
+                                           fast_world.agent.device_id)
+
+
+def test_domain_key_is_wrapped_at_rest(fast_world):
+    setup_domain_license(fast_world)
+    fast_world.agent.register(fast_world.ri)
+    context = fast_world.agent.join_domain(fast_world.ri, DOMAIN)
+    domain_key = fast_world.agent_crypto.aes_unwrap(
+        fast_world.agent.secure.kdev, context.wrapped_domain_key)
+    assert domain_key == fast_world.ri.domains.get(DOMAIN).key
+
+
+def test_domain_ro_full_lifecycle(fast_world):
+    dcf = setup_domain_license(fast_world)
+    fast_world.agent.register(fast_world.ri)
+    fast_world.agent.join_domain(fast_world.ri, DOMAIN)
+    protected = fast_world.agent.acquire(fast_world.ri, "ro:shared",
+                                         domain_id=DOMAIN)
+    assert protected.ro.is_domain_ro
+    assert protected.domain_wrapped_keys is not None
+    assert protected.signature is not None  # mandatory for Domain ROs
+    fast_world.agent.install(protected, dcf)
+    result = fast_world.agent.consume("cid:shared")
+    assert result.clear_content == b"shared" * 100
+
+
+def test_non_member_cannot_acquire_domain_ro(fast_world):
+    setup_domain_license(fast_world)
+    fast_world.agent.register(fast_world.ri)
+    with pytest.raises(DomainError):
+        fast_world.agent.acquire(fast_world.ri, "ro:shared",
+                                 domain_id=DOMAIN)
+
+
+def test_join_requires_registration(fast_world):
+    setup_domain_license(fast_world)
+    with pytest.raises(Exception):
+        fast_world.agent.join_domain(fast_world.ri, DOMAIN)
+
+
+def test_unknown_domain_rejected(fast_world):
+    fast_world.agent.register(fast_world.ri)
+    with pytest.raises(DomainError):
+        fast_world.agent.join_domain(fast_world.ri, domain_id("ghost"))
+
+
+def test_domain_ro_shared_across_devices(fast_world, fast_world_factory):
+    """The headline feature: a second member consumes the first's RO.
+
+    Models the Unconnected Device: the second device never contacts the
+    RI for this RO — it receives the protected RO and DCF out of band
+    (superdistribution) and unlocks them with its domain key.
+    """
+    dcf = setup_domain_license(fast_world)
+    fast_world.agent.register(fast_world.ri)
+    fast_world.agent.join_domain(fast_world.ri, DOMAIN)
+    protected = fast_world.agent.acquire(fast_world.ri, "ro:shared",
+                                         domain_id=DOMAIN)
+
+    # Second device: same CA/RI world, its own keys and storage.
+    other = fast_world_factory(seed="member-two")
+    # Re-point the second agent at the first world's infrastructure.
+    other.agent.trust_anchors = list(fast_world.agent.trust_anchors)
+    other_cert = fast_world.ca.issue(other.agent.device_id,
+                                     other.agent.certificate.public_key,
+                                     fast_world.clock.now)
+    other.agent.certificate = other_cert
+    other.agent.register(fast_world.ri)
+    other.agent.join_domain(fast_world.ri, DOMAIN)
+
+    other.agent.install(protected, dcf)
+    result = other.agent.consume("cid:shared")
+    assert result.clear_content == b"shared" * 100
+
+
+def test_domain_manager_roster():
+    from repro.core.meter import PlainCrypto
+    from repro.crypto.rng import HmacDrbg
+    manager = DomainManager(PlainCrypto(HmacDrbg(b"dm")))
+    domain = manager.create("domain:x+000", max_members=2)
+    manager.join("domain:x+000", "device:a")
+    manager.join("domain:x+000", "device:b")
+    with pytest.raises(DomainError):
+        manager.join("domain:x+000", "device:c")
+    # Rejoining an existing member is idempotent, not a new slot.
+    manager.join("domain:x+000", "device:a")
+    manager.leave("domain:x+000", "device:a")
+    assert not manager.is_member("domain:x+000", "device:a")
+    manager.join("domain:x+000", "device:c")
+    assert domain.members == {"device:b", "device:c"}
+
+
+def test_duplicate_domain_creation_rejected(fast_world):
+    fast_world.ri.create_domain(DOMAIN)
+    with pytest.raises(DomainError):
+        fast_world.ri.create_domain(DOMAIN)

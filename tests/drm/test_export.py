@@ -1,0 +1,99 @@
+"""The REL export permission: copy/move to another DRM system."""
+
+import pytest
+
+from repro.core.trace import Phase
+from repro.drm.errors import (PermissionDeniedError, UnknownContentError)
+from repro.drm.rel import (ExportConstraint, ExportMode, Permission,
+                           PermissionType, Rights, export_rights,
+                           play_count)
+
+TARGET = "removable-media-drm"
+CONTENT = b"exportable" * 40
+
+
+def install_with_rights(world, rights):
+    dcf = world.ci.publish("cid:e", "audio/mpeg", CONTENT, "u")
+    world.ri.add_offer("ro:e", world.ci.negotiate_license("cid:e"),
+                       rights)
+    world.agent.register(world.ri)
+    protected = world.agent.acquire(world.ri, "ro:e")
+    world.agent.install(protected, dcf)
+
+
+def test_export_copy_keeps_local_rights(fast_world):
+    install_with_rights(fast_world,
+                        export_rights((TARGET,), ExportMode.COPY))
+    result = fast_world.agent.export("cid:e", TARGET)
+    assert result.clear_content == CONTENT
+    assert result.mode is ExportMode.COPY
+    # Local PLAY still works after a copy export.
+    assert fast_world.agent.consume("cid:e").clear_content == CONTENT
+
+
+def test_export_move_surrenders_local_rights(fast_world):
+    install_with_rights(fast_world,
+                        export_rights((TARGET,), ExportMode.MOVE))
+    result = fast_world.agent.export("cid:e", TARGET)
+    assert result.mode is ExportMode.MOVE
+    with pytest.raises(UnknownContentError):
+        fast_world.agent.consume("cid:e")
+    with pytest.raises(UnknownContentError):
+        fast_world.agent.export("cid:e", TARGET)
+
+
+def test_export_to_unauthorized_target_rejected(fast_world):
+    install_with_rights(fast_world,
+                        export_rights((TARGET,), ExportMode.COPY))
+    with pytest.raises(PermissionDeniedError):
+        fast_world.agent.export("cid:e", "bluetooth-beam")
+    # The denial consumed nothing; the authorized export still works.
+    fast_world.agent.export("cid:e", TARGET)
+
+
+def test_export_without_permission_rejected(fast_world):
+    install_with_rights(fast_world, play_count(5))
+    with pytest.raises(PermissionDeniedError):
+        fast_world.agent.export("cid:e", TARGET)
+
+
+def test_export_respects_count_constraint(fast_world):
+    from repro.drm.rel import CountConstraint
+    rights = Rights(permissions=(
+        Permission(PermissionType.EXPORT,
+                   (ExportConstraint((TARGET,), ExportMode.COPY),
+                    CountConstraint(1))),
+    ))
+    install_with_rights(fast_world, rights)
+    fast_world.agent.export("cid:e", TARGET)
+    with pytest.raises(PermissionDeniedError):
+        fast_world.agent.export("cid:e", TARGET)
+
+
+def test_export_costs_a_full_access(fast_world):
+    """Export pays the same crypto bill as a consumption."""
+    install_with_rights(fast_world,
+                        export_rights((TARGET,), ExportMode.COPY))
+    fast_world.agent_crypto.reset_trace()
+    fast_world.agent.export("cid:e", TARGET)
+    labels = [r.label for r in fast_world.agent_crypto.trace]
+    assert labels == ["c2dev-unwrap", "ro-mac", "dcf-hash",
+                      "kcek-unwrap", "content-decrypt"]
+    assert all(r.phase is Phase.CONSUMPTION
+               for r in fast_world.agent_crypto.trace)
+
+
+def test_replay_cache_blocks_reinstall_after_move(fast_world):
+    """A moved RO cannot be re-installed from a kept copy of the
+    ROResponse — the replay cache remembers it."""
+    from repro.drm.errors import InstallationError
+    dcf = fast_world.ci.publish("cid:e", "audio/mpeg", CONTENT, "u")
+    fast_world.ri.add_offer("ro:e",
+                            fast_world.ci.negotiate_license("cid:e"),
+                            export_rights((TARGET,), ExportMode.MOVE))
+    fast_world.agent.register(fast_world.ri)
+    protected = fast_world.agent.acquire(fast_world.ri, "ro:e")
+    fast_world.agent.install(protected, dcf)
+    fast_world.agent.export("cid:e", TARGET)
+    with pytest.raises(InstallationError):
+        fast_world.agent.install(protected, dcf)

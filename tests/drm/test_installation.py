@@ -1,0 +1,119 @@
+"""RO installation: the Figure 3 unwrap chain and the C2dev re-wrap."""
+
+import dataclasses
+
+import pytest
+
+from repro.core.trace import Algorithm, Phase
+from repro.drm.errors import InstallationError, IntegrityError
+from repro.drm.rel import play_count
+
+from .test_acquisition import offer_license
+
+
+def acquire(world, **offer_kwargs):
+    dcf, cid, ro_id = offer_license(world, **offer_kwargs)
+    world.agent.register(world.ri)
+    protected = world.agent.acquire(world.ri, ro_id)
+    return dcf, cid, protected
+
+
+def test_install_stores_ro_and_dcf(fast_world):
+    dcf, cid, protected = acquire(fast_world)
+    installed = fast_world.agent.install(protected, dcf)
+    assert fast_world.agent.storage.find_ro_for_content(cid) is installed
+    assert fast_world.agent.storage.get_dcf(cid) is dcf
+
+
+def test_install_rewraps_under_kdev(fast_world):
+    dcf, cid, protected = acquire(fast_world)
+    installed = fast_world.agent.install(protected, dcf)
+    assert installed.c2dev is not None
+    # C2dev unwraps to K_MAC || K_REK under the device key.
+    key_material = fast_world.agent_crypto.aes_unwrap(
+        fast_world.agent.secure.kdev, installed.c2dev)
+    assert len(key_material) == 32
+    # K_MAC (first half) authenticates the RO payload.
+    assert fast_world.agent_crypto.hmac_verify(
+        key_material[:16], protected.ro.payload_bytes(), protected.mac)
+
+
+def test_install_operation_counts(fast_world):
+    """Installation: RSADP (1 private op), KDF2+unwrap, MAC, re-wrap."""
+    dcf, cid, protected = acquire(fast_world)
+    fast_world.agent_crypto.reset_trace()
+    fast_world.agent.install(protected, dcf)
+    trace = fast_world.agent_crypto.trace
+    assert all(r.phase is Phase.INSTALLATION for r in trace)
+    totals = trace.totals_by_algorithm()
+    assert totals[Algorithm.RSA_PRIVATE] == (1, 1)
+    assert Algorithm.RSA_PUBLIC not in totals  # unsigned device RO
+    assert Algorithm.AES_DECRYPT in totals    # C2 unwrap
+    assert Algorithm.AES_ENCRYPT in totals    # C2dev re-wrap
+    assert Algorithm.HMAC_SHA1 in totals      # RO MAC
+
+
+def test_tampered_mac_rejected(fast_world):
+    dcf, cid, protected = acquire(fast_world)
+    bad_mac = bytes([protected.mac[0] ^ 1]) + protected.mac[1:]
+    tampered = dataclasses.replace(protected, mac=bad_mac)
+    with pytest.raises(IntegrityError):
+        fast_world.agent.install(tampered, dcf)
+
+
+def test_tampered_rights_rejected(fast_world):
+    """Upgrading the rights grant in transit breaks the MAC."""
+    dcf, cid, protected = acquire(fast_world, count=1)
+    better_ro = dataclasses.replace(protected.ro, rights=play_count(9999))
+    tampered = dataclasses.replace(protected, ro=better_ro)
+    with pytest.raises(IntegrityError):
+        fast_world.agent.install(tampered, dcf)
+
+
+def test_tampered_kem_ciphertext_rejected(fast_world):
+    dcf, cid, protected = acquire(fast_world)
+    bad_c2 = bytearray(protected.kem_ciphertext.c2)
+    bad_c2[5] ^= 0x01
+    tampered = dataclasses.replace(
+        protected,
+        kem_ciphertext=dataclasses.replace(protected.kem_ciphertext,
+                                           c2=bytes(bad_c2)))
+    with pytest.raises(InstallationError):
+        fast_world.agent.install(tampered, dcf)
+
+
+def test_ro_for_other_device_rejected(fast_world, fast_world_factory):
+    """A second device cannot install a Device RO minted for the first."""
+    dcf, cid, protected = acquire(fast_world)
+    other = fast_world_factory(seed="other-device")
+    other.agent.register(other.ri)
+    with pytest.raises(InstallationError):
+        other.agent.install(protected, dcf)
+
+
+def test_verify_dcf_on_install_catches_tamper(fast_world_factory):
+    world = fast_world_factory(verify_dcf_on_install=True)
+    dcf = world.ci.publish("cid:v", "audio/mpeg", b"x" * 256, "u")
+    world.ri.add_offer("ro:v", world.ci.negotiate_license("cid:v"),
+                       play_count(1))
+    world.agent.register(world.ri)
+    protected = world.agent.acquire(world.ri, "ro:v")
+    with pytest.raises(IntegrityError):
+        world.agent.install(protected, dcf.with_tampered_payload())
+    # The pristine DCF installs fine.
+    world.agent.install(protected, dcf)
+
+
+def test_no_kdev_mode_keeps_kem_ciphertext(fast_world_factory):
+    world = fast_world_factory(kdev_optimization=False)
+    dcf = world.ci.publish("cid:k", "audio/mpeg", b"x" * 256, "u")
+    world.ri.add_offer("ro:k", world.ci.negotiate_license("cid:k"),
+                       play_count(3))
+    world.agent.register(world.ri)
+    protected = world.agent.acquire(world.ri, "ro:k")
+    installed = world.agent.install(protected, dcf)
+    assert installed.c2dev is None
+    assert installed.kem_ciphertext is not None
+    # Consumption still works, paying the PKI unwrap per access.
+    result = world.agent.consume("cid:k")
+    assert result.clear_content == b"x" * 256

@@ -1,0 +1,83 @@
+"""LeaveDomain: the 2-pass departure protocol."""
+
+import pytest
+
+from repro.drm.errors import DomainError, NotRegisteredError
+from repro.drm.identifiers import domain_id
+from repro.drm.rel import play_count
+
+DOMAIN = domain_id("family")
+
+
+def join(world):
+    world.ri.create_domain(DOMAIN)
+    world.agent.register(world.ri)
+    world.agent.join_domain(world.ri, DOMAIN)
+
+
+def test_leave_removes_membership_both_sides(fast_world):
+    join(fast_world)
+    fast_world.agent.leave_domain(fast_world.ri, DOMAIN)
+    assert not fast_world.ri.domains.is_member(
+        DOMAIN, fast_world.agent.device_id)
+    with pytest.raises(NotRegisteredError):
+        fast_world.agent.storage.get_domain_context(DOMAIN)
+
+
+def test_leave_frees_a_roster_slot(fast_world):
+    fast_world.ri.create_domain(domain_id("tiny"))
+    fast_world.ri.domains.get(domain_id("tiny")).max_members = 1
+    fast_world.agent.register(fast_world.ri)
+    fast_world.agent.join_domain(fast_world.ri, domain_id("tiny"))
+    with pytest.raises(DomainError):
+        fast_world.ri.domains.join(domain_id("tiny"), "device:other")
+    fast_world.agent.leave_domain(fast_world.ri, domain_id("tiny"))
+    fast_world.ri.domains.join(domain_id("tiny"), "device:other")
+
+
+def test_cannot_leave_without_membership(fast_world):
+    fast_world.ri.create_domain(DOMAIN)
+    fast_world.agent.register(fast_world.ri)
+    with pytest.raises(NotRegisteredError):
+        fast_world.agent.leave_domain(fast_world.ri, DOMAIN)
+
+
+def test_cannot_install_domain_ro_after_leaving(fast_world):
+    join(fast_world)
+    dcf = fast_world.ci.publish("cid:d", "audio/mpeg", b"x" * 256, "u")
+    fast_world.ri.add_offer("ro:d",
+                            fast_world.ci.negotiate_license("cid:d"),
+                            play_count(5))
+    protected = fast_world.agent.acquire(fast_world.ri, "ro:d",
+                                         domain_id=DOMAIN)
+    fast_world.agent.leave_domain(fast_world.ri, DOMAIN)
+    with pytest.raises(NotRegisteredError):
+        fast_world.agent.install(protected, dcf)
+
+
+def test_already_installed_domain_content_survives_leave(fast_world):
+    """Leaving stops future installs; already-installed ROs keep their
+    C2dev copy under K_DEV and keep playing (paper's robustness-rule
+    territory, not ROAP's)."""
+    join(fast_world)
+    dcf = fast_world.ci.publish("cid:d", "audio/mpeg", b"x" * 256, "u")
+    fast_world.ri.add_offer("ro:d",
+                            fast_world.ci.negotiate_license("cid:d"),
+                            play_count(5))
+    protected = fast_world.agent.acquire(fast_world.ri, "ro:d",
+                                         domain_id=DOMAIN)
+    fast_world.agent.install(protected, dcf)
+    fast_world.agent.leave_domain(fast_world.ri, DOMAIN)
+    assert fast_world.agent.consume("cid:d").clear_content == b"x" * 256
+
+
+def test_ri_rejects_unknown_device(fast_world):
+    from repro.drm.roap.messages import LeaveDomainRequest
+    fast_world.ri.create_domain(DOMAIN)
+    request = LeaveDomainRequest(
+        device_id="device:stranger", ri_id=fast_world.ri.ri_id,
+        domain_id=DOMAIN, device_nonce=b"n" * 14, request_time=0,
+        signature=b"x" * 64,
+    )
+    with pytest.raises(DomainError):
+        fast_world.ri.leave_domain(request)

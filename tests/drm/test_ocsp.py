@@ -1,0 +1,113 @@
+"""OCSP responder and response verification."""
+
+import pytest
+
+from repro.core.meter import PlainCrypto
+from repro.crypto.rng import HmacDrbg
+from repro.crypto.rsa import generate_keypair
+from repro.drm.certificates import CertificationAuthority
+from repro.drm.clock import DAY
+from repro.drm.errors import CertificateRevokedError, TrustError
+from repro.drm.ocsp import (CertStatus, OCSPResponder, OCSPResponse,
+                            verify_ocsp_response)
+
+NOW = 1_100_000_000
+BITS = 512
+
+
+@pytest.fixture(scope="module")
+def crypto():
+    return PlainCrypto(HmacDrbg(b"ocsp-tests"))
+
+
+@pytest.fixture(scope="module")
+def ca(crypto):
+    return CertificationAuthority(
+        "test-ca", generate_keypair(BITS, crypto.rng), crypto, now=NOW)
+
+
+@pytest.fixture(scope="module")
+def responder(ca, crypto):
+    return OCSPResponder("test-ocsp", ca,
+                         generate_keypair(BITS, crypto.rng), crypto,
+                         now=NOW)
+
+
+@pytest.fixture(scope="module")
+def subject_serial(ca, crypto):
+    keys = generate_keypair(BITS, crypto.rng)
+    return ca.issue("ri:someone", keys.public_key, NOW).serial
+
+
+def test_good_response_verifies(responder, subject_serial, crypto):
+    response = responder.respond(subject_serial, NOW)
+    assert response.status is CertStatus.GOOD
+    verify_ocsp_response(response, subject_serial,
+                         responder.certificate, NOW, crypto)
+
+
+def test_revoked_certificate_raises(ca, responder, subject_serial, crypto):
+    ca.revoke(subject_serial, NOW)
+    response = responder.respond(subject_serial, NOW)
+    assert response.status is CertStatus.REVOKED
+    with pytest.raises(CertificateRevokedError):
+        verify_ocsp_response(response, subject_serial,
+                             responder.certificate, NOW, crypto)
+    # Clean up module-scoped CA state for other tests.
+    ca._revoked.clear()
+
+
+def test_wrong_serial_rejected(responder, subject_serial, crypto):
+    response = responder.respond(subject_serial, NOW)
+    with pytest.raises(TrustError):
+        verify_ocsp_response(response, subject_serial + 1,
+                             responder.certificate, NOW, crypto)
+
+
+def test_stale_response_rejected(responder, subject_serial, crypto):
+    response = responder.respond(subject_serial, NOW)
+    with pytest.raises(TrustError):
+        verify_ocsp_response(response, subject_serial,
+                             responder.certificate, NOW + 8 * DAY, crypto)
+
+
+def test_wrong_responder_certificate_rejected(ca, responder,
+                                              subject_serial, crypto):
+    response = responder.respond(subject_serial, NOW)
+    with pytest.raises(TrustError):
+        verify_ocsp_response(response, subject_serial,
+                             ca.root_certificate, NOW, crypto)
+
+
+def test_tampered_response_rejected(responder, subject_serial, crypto):
+    response = responder.respond(subject_serial, NOW)
+    forged = OCSPResponse(
+        serial=response.serial, status=CertStatus.GOOD,
+        produced_at=response.produced_at,
+        next_update=response.next_update + 1,  # tamper one field
+        responder=response.responder, signature=response.signature,
+    )
+    with pytest.raises(TrustError):
+        verify_ocsp_response(forged, subject_serial,
+                             responder.certificate, NOW, crypto)
+
+
+def test_unknown_status_rejected(responder, subject_serial, crypto):
+    unsigned = OCSPResponse(
+        serial=subject_serial, status=CertStatus.UNKNOWN,
+        produced_at=NOW, next_update=NOW + DAY,
+        responder="test-ocsp", signature=b"",
+    )
+    signed = OCSPResponse(
+        **{**unsigned.__dict__,
+           "signature": crypto.pss_sign(responder._keypair,
+                                        unsigned.tbs_bytes())}
+    )
+    with pytest.raises(TrustError):
+        verify_ocsp_response(signed, subject_serial,
+                             responder.certificate, NOW, crypto)
+
+
+def test_response_bytes_deterministic(responder, subject_serial):
+    response = responder.respond(subject_serial, NOW)
+    assert response.to_bytes() == response.to_bytes()

@@ -1,0 +1,94 @@
+"""RO replay protection and DRM Time synchronization."""
+
+import pytest
+
+from repro.drm.errors import (InstallationError, PermissionDeniedError)
+from repro.drm.rel import (DatetimeConstraint, Permission, PermissionType,
+                           Rights, play_count)
+
+
+def listed(world, count=2):
+    dcf = world.ci.publish("cid:r", "audio/mpeg", b"x" * 256, "u")
+    world.ri.add_offer("ro:r", world.ci.negotiate_license("cid:r"),
+                       play_count(count))
+    world.agent.register(world.ri)
+    return dcf
+
+
+# -- replay protection -----------------------------------------------------
+
+def test_reinstalling_same_ro_rejected(fast_world):
+    """The count-reset attack: exhaust the RO, install it again."""
+    dcf = listed(fast_world, count=1)
+    protected = fast_world.agent.acquire(fast_world.ri, "ro:r")
+    fast_world.agent.install(protected, dcf)
+    fast_world.agent.consume("cid:r")
+    with pytest.raises(PermissionDeniedError):
+        fast_world.agent.consume("cid:r")
+    with pytest.raises(InstallationError):
+        fast_world.agent.install(protected, dcf)  # replay blocked
+    with pytest.raises(PermissionDeniedError):
+        fast_world.agent.consume("cid:r")  # still exhausted
+
+
+def test_freshly_acquired_ro_installs_fine(fast_world):
+    """A genuinely new purchase (fresh mint) is not a replay."""
+    dcf = listed(fast_world, count=1)
+    first = fast_world.agent.acquire(fast_world.ri, "ro:r")
+    fast_world.agent.install(first, dcf)
+    fast_world.agent.consume("cid:r")
+    second = fast_world.agent.acquire(fast_world.ri, "ro:r")
+    assert second.ro.guid != first.ro.guid
+    fast_world.agent.install(second, dcf)
+    fast_world.agent.consume("cid:r")
+
+
+def test_ro_nonce_is_fresh_per_mint(fast_world):
+    listed(fast_world)
+    a = fast_world.agent.acquire(fast_world.ri, "ro:r")
+    b = fast_world.agent.acquire(fast_world.ri, "ro:r")
+    assert a.ro.ro_nonce != b.ro.ro_nonce
+    assert len(a.ro.ro_nonce) == 8
+
+
+# -- DRM Time ----------------------------------------------------------------
+
+def test_registration_resyncs_drifted_clock(fast_world_factory):
+    """A device one year fast still registers; afterwards its DRM Time
+    matches the infrastructure clock."""
+    world = fast_world_factory(seed="skewed")
+    world.agent._time_offset = 365 * 86_400
+    assert world.agent.drm_time() != world.clock.now
+    world.agent.register(world.ri)
+    assert world.agent.drm_time() == world.clock.now
+
+
+def test_wound_back_clock_cannot_stretch_rights(fast_world_factory):
+    """Winding the clock back before registration does not extend a
+    datetime-constrained license: registration resyncs time first."""
+    world = fast_world_factory(seed="rewound")
+    dcf = world.ci.publish("cid:w", "audio/mpeg", b"x" * 128, "u")
+    expiry = world.clock.now + 1000
+    rights = Rights(permissions=(Permission(
+        PermissionType.PLAY, (DatetimeConstraint(not_after=expiry),),
+    ),))
+    world.ri.add_offer("ro:w", world.ci.negotiate_license("cid:w"),
+                       rights)
+    world.agent._time_offset = -10 * 86_400  # user wound the clock back
+    world.agent.register(world.ri)           # ...but ROAP resyncs it
+    protected = world.agent.acquire(world.ri, "ro:w")
+    world.agent.install(protected, dcf)
+    world.agent.consume("cid:w")
+    world.clock.advance(1001)
+    with pytest.raises(PermissionDeniedError):
+        world.agent.consume("cid:w")
+
+
+def test_drm_time_used_for_context_expiry(fast_world):
+    """RI-context validity follows DRM Time, not the raw local clock."""
+    fast_world.agent.register(fast_world.ri)
+    fast_world.agent._time_offset = 2 * 365 * 86_400  # drift forward
+    from repro.drm.errors import NotRegisteredError
+    with pytest.raises(NotRegisteredError):
+        fast_world.agent.storage.get_ri_context(
+            fast_world.ri.ri_id, fast_world.agent.drm_time())

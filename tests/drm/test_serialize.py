@@ -1,0 +1,127 @@
+"""Canonical serialization: determinism, roundtrips, malformed input."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.drm.serialize import decode, encode
+
+# Recursive strategy over the encodable value space.
+scalars = st.one_of(
+    st.none(),
+    st.booleans(),
+    st.integers(min_value=-(10 ** 12), max_value=10 ** 12),
+    st.text(max_size=40),
+    st.binary(max_size=40),
+)
+values = st.recursive(
+    scalars,
+    lambda children: st.one_of(
+        st.lists(children, max_size=5),
+        st.dictionaries(st.text(max_size=10), children, max_size=5),
+    ),
+    max_leaves=20,
+)
+
+
+def test_scalar_encodings():
+    assert encode("ab") == b"s2:ab"
+    assert encode(b"\x00\x01") == b"b2:\x00\x01"
+    assert encode(42) == b"i2:42"
+    assert encode(-7) == b"i2:-7"
+    assert encode(None) == b"n0:"
+    assert encode(True) == b"t1:1"
+    assert encode(False) == b"t1:0"
+
+
+def test_bool_is_not_int():
+    """bool must take the bool path despite being an int subclass."""
+    assert encode(True) != encode(1)
+
+
+def test_dict_keys_sorted():
+    assert encode({"b": 1, "a": 2}) == encode({"a": 2, "b": 1})
+
+
+def test_dict_rejects_non_string_keys():
+    with pytest.raises(TypeError):
+        encode({1: "x"})
+
+
+def test_unencodable_type_rejected():
+    with pytest.raises(TypeError):
+        encode(3.14)
+
+
+def test_nested_structure_roundtrip():
+    value = {
+        "name": "RegistrationRequest",
+        "nonce": b"\x01" * 14,
+        "time": 1_100_000_000,
+        "algorithms": ["SHA-1", "AES-128-CBC"],
+        "extensions": None,
+        "signed": True,
+        "nested": {"inner": [1, 2, {"deep": b"bytes"}]},
+    }
+    assert decode(encode(value)) == value
+
+
+def test_decode_rejects_trailing_garbage():
+    with pytest.raises(ValueError):
+        decode(encode("x") + b"junk")
+
+
+def test_decode_rejects_truncation():
+    blob = encode({"key": "value"})
+    with pytest.raises(ValueError):
+        decode(blob[:-1])
+
+
+def test_decode_rejects_unknown_tag():
+    with pytest.raises(ValueError):
+        decode(b"z3:abc")
+
+
+def test_decode_rejects_missing_separator():
+    with pytest.raises(ValueError):
+        decode(b"s99abc")
+
+
+def test_decode_rejects_dangling_key():
+    # A mapping payload with an odd number of items.
+    with pytest.raises(ValueError):
+        decode(b"d5:s1:a")
+
+
+def test_utf8_text():
+    assert decode(encode("héllo wörld ✓")) == "héllo wörld ✓"
+
+
+def test_tuple_encodes_as_list():
+    assert encode((1, 2)) == encode([1, 2])
+    assert decode(encode((1, 2))) == [1, 2]
+
+
+@given(values)
+@settings(max_examples=300, deadline=None)
+def test_roundtrip_property(value):
+    decoded = decode(encode(value))
+
+    def normalize(v):
+        if isinstance(v, tuple):
+            return [normalize(i) for i in v]
+        if isinstance(v, list):
+            return [normalize(i) for i in v]
+        if isinstance(v, dict):
+            return {k: normalize(x) for k, x in v.items()}
+        if isinstance(v, bytearray):
+            return bytes(v)
+        return v
+
+    assert decoded == normalize(value)
+
+
+@given(values)
+@settings(max_examples=100, deadline=None)
+def test_encoding_is_deterministic(value):
+    assert encode(value) == encode(value)

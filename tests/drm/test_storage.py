@@ -1,0 +1,64 @@
+"""Device storage: lookups, expiry, error paths."""
+
+import pytest
+
+from repro.drm.errors import NotRegisteredError, UnknownContentError
+from repro.drm.rel import RightsState, play_count
+from repro.drm.ro import InstalledRightsObject, RightsObject
+from repro.drm.storage import DeviceStorage, RIContext
+
+
+def make_installed(ro_id="ro:1", content_id="cid:1"):
+    ro = RightsObject.single(
+        ro_id=ro_id, content_id=content_id, rights_issuer_id="ri:x",
+        rights=play_count(5), dcf_hash=b"h" * 20, wrapped_kcek=b"w" * 24,
+        issued_at=0,
+    )
+    return InstalledRightsObject(ro=ro, c2dev=b"c" * 40, mac=b"m" * 20,
+                                 state=RightsState())
+
+
+def test_dcf_lookup_unknown():
+    with pytest.raises(UnknownContentError):
+        DeviceStorage().get_dcf("cid:ghost")
+
+
+def test_ro_lookup_by_content():
+    storage = DeviceStorage()
+    installed = make_installed()
+    storage.store_ro(installed)
+    assert storage.find_ro_for_content("cid:1") is installed
+    with pytest.raises(UnknownContentError):
+        storage.find_ro_for_content("cid:2")
+
+
+def test_multiple_ros_for_same_content():
+    storage = DeviceStorage()
+    first = make_installed(ro_id="ro:1")
+    second = make_installed(ro_id="ro:2")
+    storage.store_ro(first)
+    storage.store_ro(second)
+    found = storage.find_ro_for_content("cid:1")
+    assert found in (first, second)
+    assert len(storage.installed_ros) == 2
+
+
+def test_ri_context_validity():
+    storage = DeviceStorage()
+    context = RIContext(
+        ri_id="ri:x", ri_certificate=None, session_id="s1",
+        registered_at=100, expires_at=200, selected_algorithms=(),
+    )
+    storage.store_ri_context(context)
+    assert storage.get_ri_context("ri:x", 150) is context
+    assert storage.get_ri_context("ri:x", 200) is context
+    with pytest.raises(NotRegisteredError):
+        storage.get_ri_context("ri:x", 201)
+    with pytest.raises(NotRegisteredError):
+        storage.get_ri_context("ri:other", 150)
+
+
+def test_domain_context_lookup():
+    storage = DeviceStorage()
+    with pytest.raises(NotRegisteredError):
+        storage.get_domain_context("domain:x+000")

@@ -1,0 +1,91 @@
+"""ROAP triggers: RI-initiated protocol exchanges."""
+
+import dataclasses
+
+import pytest
+
+from repro.crypto.errors import SignatureError
+from repro.drm.errors import RegistrationError
+from repro.drm.identifiers import domain_id
+from repro.drm.rel import play_count
+from repro.drm.roap.triggers import RoapTrigger, TriggerType, make_trigger
+
+DOMAIN = domain_id("family")
+
+
+def listed_license(world):
+    dcf = world.ci.publish("cid:t", "audio/mpeg", b"x" * 512, "u")
+    world.ri.add_offer("ro:t", world.ci.negotiate_license("cid:t"),
+                       play_count(3))
+    return dcf
+
+
+def test_trigger_construction_validation():
+    with pytest.raises(ValueError):
+        RoapTrigger(type=TriggerType.RO_ACQUISITION, ri_id="ri:x")
+    with pytest.raises(ValueError):
+        RoapTrigger(type=TriggerType.JOIN_DOMAIN, ri_id="ri:x")
+    RoapTrigger(type=TriggerType.REGISTRATION, ri_id="ri:x")
+
+
+def test_registration_trigger(fast_world):
+    trigger = fast_world.ri.trigger(TriggerType.REGISTRATION)
+    context = fast_world.agent.handle_trigger(trigger, fast_world.ri)
+    assert context.ri_id == fast_world.ri.ri_id
+
+
+def test_acquisition_trigger_full_flow(fast_world):
+    dcf = listed_license(fast_world)
+    fast_world.agent.register(fast_world.ri)
+    trigger = fast_world.ri.trigger(TriggerType.RO_ACQUISITION,
+                                    ro_id="ro:t")
+    protected = fast_world.agent.handle_trigger(trigger, fast_world.ri)
+    assert protected.ro.ro_id == "ro:t"
+    fast_world.agent.install(protected, dcf)
+    assert fast_world.agent.consume("cid:t").clear_content == b"x" * 512
+
+
+def test_acquisition_trigger_requires_context(fast_world):
+    listed_license(fast_world)
+    trigger = fast_world.ri.trigger(TriggerType.RO_ACQUISITION,
+                                    ro_id="ro:t")
+    with pytest.raises(RegistrationError):
+        fast_world.agent.handle_trigger(trigger, fast_world.ri)
+
+
+def test_forged_trigger_rejected(fast_world):
+    fast_world.agent.register(fast_world.ri)
+    trigger = fast_world.ri.trigger(TriggerType.JOIN_DOMAIN,
+                                    domain_id=DOMAIN)
+    forged = dataclasses.replace(trigger, domain_id=domain_id("evil"))
+    with pytest.raises(SignatureError):
+        fast_world.agent.handle_trigger(forged, fast_world.ri)
+
+
+def test_join_and_leave_triggers(fast_world):
+    fast_world.ri.create_domain(DOMAIN)
+    fast_world.agent.register(fast_world.ri)
+    join = fast_world.ri.trigger(TriggerType.JOIN_DOMAIN,
+                                 domain_id=DOMAIN)
+    context = fast_world.agent.handle_trigger(join, fast_world.ri)
+    assert context.domain_id == DOMAIN
+    leave = fast_world.ri.trigger(TriggerType.LEAVE_DOMAIN,
+                                  domain_id=DOMAIN)
+    fast_world.agent.handle_trigger(leave, fast_world.ri)
+    assert not fast_world.ri.domains.is_member(
+        DOMAIN, fast_world.agent.device_id)
+
+
+def test_trigger_bytes_deterministic(fast_world):
+    trigger = fast_world.ri.trigger(TriggerType.REGISTRATION)
+    assert trigger.to_bytes() == trigger.to_bytes()
+    assert trigger.tbs_bytes() in trigger.to_bytes()
+
+
+def test_make_trigger_signs(fast_world):
+    trigger = make_trigger(TriggerType.REGISTRATION,
+                           fast_world.ri.ri_id,
+                           fast_world.ri._keypair,
+                           fast_world.ri._crypto)
+    assert trigger.signature
+    assert len(trigger.nonce) == 14

@@ -1,0 +1,126 @@
+"""Command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+
+def run_cli(capsys, *argv):
+    code = main(list(argv))
+    captured = capsys.readouterr()
+    return code, captured.out
+
+
+def test_table1(capsys):
+    code, out = run_cli(capsys, "table1")
+    assert code == 0
+    assert "all entries match the paper" in out
+
+
+def test_figure6(capsys):
+    code, out = run_cli(capsys, "figure6")
+    assert code == 0
+    assert "paper: 7730 ms" in out
+
+
+def test_figure7(capsys):
+    code, out = run_cli(capsys, "figure7")
+    assert code == 0
+    assert "paper: 12 ms" in out
+
+
+def test_all(capsys):
+    code, out = run_cli(capsys, "all")
+    assert code == 0
+    for marker in ("Table 1", "Figure 5", "Figure 6", "Figure 7",
+                   "~600 ms"):
+        assert marker in out
+
+
+def test_run_default(capsys):
+    code, out = run_cli(capsys, "run")
+    assert code == 0
+    assert "Ringtone" in out
+    assert "SW/HW" in out
+
+
+def test_run_custom_size(capsys):
+    code, out = run_cli(capsys, "run", "--use-case", "custom",
+                        "--size", "1024", "--accesses", "2")
+    assert code == 0
+    assert "1024 octets x 2 accesses" in out
+
+
+def test_run_exports(capsys, tmp_path):
+    trace_path = str(tmp_path / "trace.json")
+    breakdown_path = str(tmp_path / "b.json")
+    code, out = run_cli(capsys, "run", "--use-case", "ringtone",
+                        "--export-trace", trace_path,
+                        "--arch", "HW",
+                        "--export-breakdown", breakdown_path)
+    assert code == 0
+    with open(trace_path) as handle:
+        assert json.load(handle)["kind"] == "operation-trace"
+    with open(breakdown_path) as handle:
+        data = json.load(handle)
+    assert data["kind"] == "cost-breakdown"
+    assert data["profile"] == "HW"
+
+
+def test_pareto(capsys):
+    code, out = run_cli(capsys, "pareto", "--use-case", "music")
+    assert code == 0
+    assert "SW-only" in out
+    assert "Pareto" in out
+    # SW-only and the full set are always in the frontier column.
+    lines = [line for line in out.splitlines() if "yes" in line]
+    assert len(lines) >= 2
+
+
+def test_battery(capsys):
+    code, out = run_cli(capsys, "battery", "--capacity-mah", "1000")
+    assert code == 0
+    assert "1000 mAh" in out
+    assert "workloads/charge" in out
+
+
+def test_unknown_command_exits():
+    with pytest.raises(SystemExit):
+        main(["no-such-command"])
+
+
+def test_missing_command_exits():
+    with pytest.raises(SystemExit):
+        main([])
+
+
+def test_concurrency(capsys):
+    code, out = run_cli(capsys, "concurrency", "--use-case", "music")
+    assert code == 0
+    assert "CPU freed" in out
+    assert "offload concurrency" in out
+
+
+def test_concurrency_overlap_flag(capsys):
+    code, out = run_cli(capsys, "concurrency", "--overlap", "0.0")
+    assert code == 0
+
+
+def test_selftest(capsys):
+    code, out = run_cli(capsys, "selftest")
+    assert code == 0
+    assert "self-test PASSED" in out
+    assert out.count("PASS") >= 7
+
+
+def test_report(capsys, tmp_path):
+    path = str(tmp_path / "REPORT.md")
+    code, out = run_cli(capsys, "report", "--output", path)
+    assert code == 0
+    with open(path) as handle:
+        text = handle.read()
+    assert "# Reproduction report" in text
+    assert "Figure 6" in text and "Figure 7" in text
+    assert "## Verdict" in text

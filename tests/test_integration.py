@@ -1,0 +1,119 @@
+"""End-to-end integration stories across the whole stack."""
+
+import pytest
+
+from repro.core.architecture import PAPER_PROFILES, SW_PROFILE
+from repro.core.model import PerformanceModel
+from repro.core.trace import Phase
+from repro.drm.errors import (CertificateRevokedError,
+                              PermissionDeniedError)
+from repro.drm.rel import (DatetimeConstraint, Permission, PermissionType,
+                           Rights, play_count)
+from repro.usecases.runner import run_functional, synthetic_content
+from repro.usecases.scenario import UseCase
+from repro.usecases.world import DRMWorld
+
+BITS = 512
+
+
+def test_full_story_two_contents_one_registration():
+    """One registration serves many acquisitions (the RI Context)."""
+    world = DRMWorld.create(seed="story", rsa_bits=BITS)
+    song = synthetic_content(3000)
+    tone = synthetic_content(800)
+    dcf_song = world.ci.publish("cid:song", "audio/mpeg", song, "u")
+    dcf_tone = world.ci.publish("cid:tone", "audio/midi", tone, "u")
+    world.ri.add_offer("ro:song", world.ci.negotiate_license("cid:song"),
+                       play_count(2))
+    world.ri.add_offer("ro:tone", world.ci.negotiate_license("cid:tone"),
+                       play_count(3))
+
+    world.agent.register(world.ri)
+    world.agent.install(world.agent.acquire(world.ri, "ro:song"),
+                        dcf_song)
+    world.agent.install(world.agent.acquire(world.ri, "ro:tone"),
+                        dcf_tone)
+
+    assert world.agent.consume("cid:song").clear_content == song
+    assert world.agent.consume("cid:tone").clear_content == tone
+    # Registration happened exactly once.
+    registrations = world.agent_crypto.trace.filter(
+        phase=Phase.REGISTRATION)
+    private_ops = [r for r in registrations
+                   if r.algorithm.value == "rsa-1024-private"]
+    assert len(private_ops) == 1
+
+
+def test_revocation_mid_lifecycle():
+    """A device revoked after registration cannot re-register, but its
+    already-installed rights keep working (offline enforcement is the
+    CA robustness rules' problem, not ROAP's)."""
+    world = DRMWorld.create(seed="revoke", rsa_bits=BITS)
+    content = synthetic_content(500)
+    dcf = world.ci.publish("cid:c", "audio/mpeg", content, "u")
+    world.ri.add_offer("ro:c", world.ci.negotiate_license("cid:c"),
+                       play_count(10))
+    world.agent.register(world.ri)
+    world.agent.install(world.agent.acquire(world.ri, "ro:c"), dcf)
+
+    world.ca.revoke(world.agent.certificate.serial, world.clock.now)
+    with pytest.raises(CertificateRevokedError):
+        world.agent.register(world.ri)
+    # Installed content still plays.
+    assert world.agent.consume("cid:c").clear_content == content
+
+
+def test_time_limited_license_expires():
+    world = DRMWorld.create(seed="timed", rsa_bits=BITS)
+    content = synthetic_content(400)
+    dcf = world.ci.publish("cid:t", "audio/mpeg", content, "u")
+    rights = Rights(permissions=(Permission(
+        PermissionType.PLAY,
+        (DatetimeConstraint(not_after=world.clock.now + 3600),),
+    ),))
+    world.ri.add_offer("ro:t", world.ci.negotiate_license("cid:t"),
+                       rights)
+    world.agent.register(world.ri)
+    world.agent.install(world.agent.acquire(world.ri, "ro:t"), dcf)
+
+    world.agent.consume("cid:t")
+    world.clock.advance(3601)
+    with pytest.raises(PermissionDeniedError):
+        world.agent.consume("cid:t")
+
+
+def test_trace_prices_consistently_across_profiles():
+    """The same functional run yields the Figure 6/7 ordering."""
+    use_case = UseCase(name="priced", content_octets=8192, accesses=3)
+    run = run_functional(use_case, seed="priced")
+    model = PerformanceModel()
+    totals = [model.evaluate(run.trace, p).total_ms
+              for p in PAPER_PROFILES]
+    assert totals[0] > totals[1] > totals[2]
+
+
+def test_phase_times_reconstruct_total():
+    use_case = UseCase(name="phases", content_octets=4096, accesses=2)
+    run = run_functional(use_case, seed="phases")
+    breakdown = PerformanceModel().evaluate(run.trace, SW_PROFILE)
+    assert sum(breakdown.ms_by_phase().values()) \
+        == pytest.approx(breakdown.total_ms)
+    assert sum(breakdown.ms_by_algorithm().values()) \
+        == pytest.approx(breakdown.total_ms)
+
+
+def test_superdistribution_requires_own_license():
+    """A DCF copied to a second device is useless without an RO."""
+    from repro.drm.errors import UnknownContentError
+    world_a = DRMWorld.create(seed="alice", rsa_bits=BITS)
+    content = synthetic_content(600)
+    dcf = world_a.ci.publish("cid:s", "audio/mpeg", content, "u")
+    world_a.ri.add_offer("ro:s", world_a.ci.negotiate_license("cid:s"),
+                         play_count(5))
+    world_a.agent.register(world_a.ri)
+    world_a.agent.install(world_a.agent.acquire(world_a.ri, "ro:s"), dcf)
+
+    world_b = DRMWorld.create(seed="bob", rsa_bits=BITS)
+    world_b.agent.storage.store_dcf(dcf)  # superdistributed copy
+    with pytest.raises(UnknownContentError):
+        world_b.agent.consume("cid:s")

@@ -1,0 +1,82 @@
+"""World construction: determinism and wiring."""
+
+from repro.core.meter import MeteredCrypto, PlainCrypto
+from repro.usecases.world import DRMWorld
+
+BITS = 512
+
+
+def test_same_seed_same_world():
+    a = DRMWorld.create(seed="w", rsa_bits=BITS)
+    b = DRMWorld.create(seed="w", rsa_bits=BITS)
+    assert a.agent.certificate.to_bytes() == b.agent.certificate.to_bytes()
+    assert a.ri.certificate.to_bytes() == b.ri.certificate.to_bytes()
+    assert a.agent.secure.kdev == b.agent.secure.kdev
+
+
+def test_different_seeds_differ():
+    a = DRMWorld.create(seed="w1", rsa_bits=BITS)
+    b = DRMWorld.create(seed="w2", rsa_bits=BITS)
+    assert a.agent.secure.kdev != b.agent.secure.kdev
+
+
+def test_metered_flag():
+    metered = DRMWorld.create(seed="w", rsa_bits=BITS, metered=True)
+    plain = DRMWorld.create(seed="w", rsa_bits=BITS, metered=False)
+    assert isinstance(metered.agent_crypto, MeteredCrypto)
+    assert isinstance(plain.agent_crypto, PlainCrypto)
+    assert not isinstance(plain.agent_crypto, MeteredCrypto)
+
+
+def test_agent_trust_anchors_provisioned():
+    world = DRMWorld.create(seed="w", rsa_bits=BITS)
+    subjects = {a.subject for a in world.agent.trust_anchors}
+    assert world.ca.root_certificate.subject in subjects
+    assert world.ocsp.certificate.subject in subjects
+
+
+def test_certificates_chain_to_ca():
+    world = DRMWorld.create(seed="w", rsa_bits=BITS)
+    assert world.agent.certificate.issuer \
+        == world.ca.root_certificate.subject
+    assert world.ri.certificate.issuer \
+        == world.ca.root_certificate.subject
+
+
+def test_servers_never_pollute_agent_trace():
+    world = DRMWorld.create(seed="w", rsa_bits=BITS)
+    # Server-side work happened during world construction (cert signing),
+    # yet the agent's trace must be empty.
+    assert len(world.agent_crypto.trace) == 0
+
+
+def test_add_device_is_trusted_and_functional():
+    from repro.drm.rel import play_count
+    world = DRMWorld.create(seed="multi", rsa_bits=BITS)
+    second = world.add_device("tablet")
+    assert second.device_id != world.agent.device_id
+    assert second.certificate.issuer == world.ca.root_certificate.subject
+    # The new device can run the full lifecycle against the same RI.
+    dcf = world.ci.publish("cid:m", "audio/mpeg", b"x" * 128, "u")
+    world.ri.add_offer("ro:m", world.ci.negotiate_license("cid:m"),
+                       play_count(1))
+    second.register(world.ri)
+    protected = second.acquire(world.ri, "ro:m")
+    second.install(protected, dcf)
+    assert second.consume("cid:m").clear_content == b"x" * 128
+
+
+def test_add_device_metered_has_own_trace():
+    world = DRMWorld.create(seed="multi", rsa_bits=BITS)
+    second = world.add_device("tablet", metered=True)
+    second.register(world.ri)
+    assert len(second.crypto.trace) > 0
+    assert len(world.agent_crypto.trace) == 0  # first agent unaffected
+
+
+def test_add_device_clock_skew():
+    world = DRMWorld.create(seed="multi", rsa_bits=BITS)
+    fast = world.add_device("fast-clock", clock_skew_seconds=3600)
+    assert fast.drm_time() == world.clock.now + 3600
+    fast.register(world.ri)
+    assert fast.drm_time() == world.clock.now  # resynced
