@@ -1,0 +1,88 @@
+"""Retry-overhead pricing under a lossy bearer.
+
+Two things are measured here:
+
+* the cost of the *analysis* — sweeping the expected retry overhead
+  across loss rates and architectures once the clean attempt is traced
+  (the part a design-space exploration runs in a loop), and
+* the cost of the *simulation* — driving a registration through a
+  seeded :class:`~repro.drm.roap.faults.FaultyChannel` with the session
+  layer retrying (512-bit keys to keep the host cost in milliseconds).
+
+Run directly (``python benchmarks/bench_fault_overhead.py``) it prints
+the overhead table and checks the key property: for every architecture
+the expected overhead (cycles, energy, octets) is monotonically
+non-decreasing in the loss rate.
+"""
+
+import copy
+
+import pytest
+
+from repro.analysis import resilience
+from repro.drm.roap.faults import FaultPlan, FaultyChannel
+from repro.drm.session import RetryPolicy, RoapSession
+from repro.usecases.world import DRMWorld
+
+BITS = 512
+SEED = "bench-fault-overhead"
+LOSS_RATES = (0.0, 0.05, 0.10, 0.20, 0.40)
+
+
+@pytest.fixture(scope="module")
+def pristine():
+    return DRMWorld.create(seed=SEED, rsa_bits=BITS)
+
+
+def bench_resilience_sweep(benchmark, print_once):
+    result = resilience.generate(seed=SEED, loss_rates=LOSS_RATES,
+                                 rsa_bits=BITS)
+    print_once("resilience", result.render())
+    benchmark(resilience.generate, seed=SEED, loss_rates=LOSS_RATES,
+              rsa_bits=BITS)
+
+
+def bench_lossy_registration(benchmark, pristine):
+    def run():
+        world = copy.deepcopy(pristine)
+        channel = FaultyChannel(world.ri, FaultPlan.lossy(SEED, 0.2),
+                                clock=world.clock)
+        session = RoapSession(world.agent, channel,
+                              RetryPolicy(max_attempts=8))
+        assert session.register().completed
+    benchmark(run)
+
+
+def check_monotone(result):
+    """Overhead must be non-decreasing in loss rate, per architecture."""
+    failures = []
+    for architecture in result.architectures():
+        rows = result.rows_for(architecture)
+        for metric in ("overhead_cycles", "overhead_millijoules",
+                       "overhead_octets"):
+            values = [getattr(row, metric) for row in rows]
+            if any(b < a for a, b in zip(values, values[1:])):
+                failures.append("%s %s not monotone: %r"
+                                % (architecture, metric, values))
+    return failures
+
+
+def test_overhead_monotone_in_loss():
+    result = resilience.generate(seed=SEED, loss_rates=LOSS_RATES,
+                                 rsa_bits=BITS)
+    assert not check_monotone(result)
+
+
+def main() -> int:
+    result = resilience.generate(seed=SEED, loss_rates=LOSS_RATES,
+                                 rsa_bits=BITS)
+    print(result.render())
+    failures = check_monotone(result)
+    for failure in failures:
+        print("FAIL: " + failure)
+    print("monotonicity %s" % ("FAILED" if failures else "PASSED"))
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -7,7 +7,8 @@ the in-text claims, message sizes — into a single Markdown document, and
 
 from dataclasses import dataclass
 
-from . import claims, figure5, figure6, figure7, messages, table1
+from . import (claims, figure5, figure6, figure7, messages, resilience,
+               table1)
 from .common import DEFAULT_SEED
 from .formatting import deviation_pct
 
@@ -69,6 +70,10 @@ def generate(seed: str = DEFAULT_SEED) -> ReproductionReport:
     sizes = messages.generate(seed)
     sections.append("## ROAP message sizes\n\n```\n%s\n```"
                     % sizes.render())
+
+    resilient = resilience.generate(seed)
+    sections.append("## Retry overhead under loss\n\n```\n%s\n```"
+                    % resilient.render())
 
     verdicts = []
     verdicts.append("Table 1 matches the paper: %s"

@@ -10,6 +10,7 @@ Commands:
 * ``pareto`` — print the gate/time Pareto frontier for a workload.
 * ``battery`` — battery-life impact of a workload per architecture.
 * ``concurrency`` — CPU-busy vs wall-clock under macro offload.
+* ``resilience`` — expected retry overhead on a lossy bearer.
 * ``report`` — write the full paper-vs-measured Markdown report.
 * ``selftest`` — run the cryptographic known-answer self-tests.
 """
@@ -18,7 +19,8 @@ import argparse
 import sys
 from typing import List, Optional
 
-from .analysis import claims, figure5, figure6, figure7, report, table1
+from .analysis import (claims, figure5, figure6, figure7, report,
+                       resilience, table1)
 from .analysis.common import DEFAULT_SEED
 from .analysis.formatting import format_ms, format_table
 from .core.architecture import PAPER_PROFILES
@@ -171,6 +173,20 @@ def _command_concurrency(args: argparse.Namespace) -> int:
     return 0
 
 
+def _command_resilience(args: argparse.Namespace) -> int:
+    try:
+        loss_rates = tuple(float(part)
+                           for part in args.loss_rates.split(","))
+        result = resilience.generate(seed=args.seed,
+                                     loss_rates=loss_rates,
+                                     max_attempts=args.max_attempts)
+    except ValueError as error:
+        print("error: %s" % error, file=sys.stderr)
+        return 2
+    print(result.render())
+    return 0
+
+
 def _command_report(args: argparse.Namespace) -> int:
     document = report.generate(seed=args.seed)
     document.write(args.output)
@@ -239,6 +255,16 @@ def build_parser() -> argparse.ArgumentParser:
     sub.add_argument("--overlap", type=float, default=1.0,
                      help="macro/CPU overlap factor in [0, 1]")
     sub.set_defaults(handler=_command_concurrency)
+
+    sub = subparsers.add_parser("resilience",
+                                help="expected retry overhead on a "
+                                     "lossy bearer")
+    sub.add_argument("--seed", default=DEFAULT_SEED)
+    sub.add_argument("--loss-rates", default="0,0.05,0.1,0.2,0.4",
+                     help="comma-separated per-transmission loss rates")
+    sub.add_argument("--max-attempts", type=int,
+                     default=resilience.DEFAULT_MAX_ATTEMPTS)
+    sub.set_defaults(handler=_command_resilience)
 
     sub = subparsers.add_parser("selftest",
                                 help="run the crypto known-answer "

@@ -11,6 +11,8 @@
   the server-side actors
 * :mod:`~repro.drm.domain` — shared-license device domains
 * :mod:`~repro.drm.storage` — the device's secure/ordinary storage split
+* :mod:`~repro.drm.session` — resilient session layer: retries, backoff
+  and terminal outcomes over an unreliable bearer
 """
 
 from .agent import ConsumptionResult, DRMAgent, ExportResult
@@ -22,11 +24,13 @@ from .content_issuer import ContentIssuer, LicenseGrant
 from .dcf import DCF, ENCRYPTION_METHOD, package_content
 from .domain import Domain, DomainManager
 from .errors import (AcquisitionError, CertificateExpiredError,
-                     CertificateRevokedError, DomainError, DRMError,
-                     InstallationError, IntegrityError,
-                     NonceMismatchError, NotRegisteredError,
-                     PermissionDeniedError, RegistrationError, TrustError,
-                     UnknownContentError)
+                     CertificateRevokedError, ChannelError,
+                     ChannelTimeoutError, ContextExpiredError,
+                     DomainError, DRMError, InstallationError,
+                     IntegrityError, NonceMismatchError,
+                     NotRegisteredError, PermissionDeniedError,
+                     RegistrationError, RoapStatusError, TrustError,
+                     UnknownContentError, WireDecodeError)
 from .identifiers import (DEFAULT_ALGORITHMS, ROAP_VERSION, content_id,
                           device_id, domain_id, rights_issuer_id,
                           rights_object_id)
@@ -35,8 +39,10 @@ from .ocsp import CertStatus, OCSPResponder, OCSPResponse, \
 from .rel import (CountConstraint, DatetimeConstraint, IntervalConstraint,
                   Permission, PermissionType, Rights, RightsEvaluator,
                   RightsState, play_count, unlimited)
-from .rights_issuer import LicenseOffer, RightsIssuer
+from .rights_issuer import LicenseOffer, RIDeviceContext, RightsIssuer
 from .roap.triggers import RoapTrigger, TriggerType
+from .session import (Outcome, RetryPolicy, RoapSession, SessionOutcome,
+                      SessionState)
 from .ro import (Asset, InstalledRightsObject, ProtectedRightsObject,
                  RightsObject)
 from .storage import (DeviceStorage, DomainContext, RIContext,
@@ -49,16 +55,21 @@ __all__ = [
     "SimulationClock", "YEAR", "ContentIssuer", "LicenseGrant", "DCF",
     "ENCRYPTION_METHOD", "package_content", "Domain", "DomainManager",
     "AcquisitionError", "CertificateExpiredError",
-    "CertificateRevokedError", "DomainError", "DRMError",
+    "CertificateRevokedError", "ChannelError", "ChannelTimeoutError",
+    "ContextExpiredError", "DomainError", "DRMError",
     "InstallationError", "IntegrityError", "NonceMismatchError",
     "NotRegisteredError", "PermissionDeniedError", "RegistrationError",
-    "TrustError", "UnknownContentError", "DEFAULT_ALGORITHMS",
+    "RoapStatusError", "TrustError", "UnknownContentError",
+    "WireDecodeError", "DEFAULT_ALGORITHMS",
     "ROAP_VERSION", "content_id", "device_id", "domain_id",
     "rights_issuer_id", "rights_object_id", "CertStatus", "OCSPResponder",
     "OCSPResponse", "verify_ocsp_response", "CountConstraint",
     "DatetimeConstraint", "IntervalConstraint", "Permission",
     "PermissionType", "Rights", "RightsEvaluator", "RightsState",
-    "play_count", "unlimited", "LicenseOffer", "RightsIssuer",
+    "play_count", "unlimited", "LicenseOffer", "RIDeviceContext",
+    "RightsIssuer",
+    "Outcome", "RetryPolicy", "RoapSession", "SessionOutcome",
+    "SessionState",
     "Asset", "InstalledRightsObject", "ProtectedRightsObject",
     "RightsObject", "RoapTrigger", "TriggerType",
     "DeviceStorage", "DomainContext", "RIContext", "SecureStorage",

@@ -196,6 +196,11 @@ class DRMAgent:
             self.storage.store_ri_context(context)
             return context
 
+    def has_valid_ri_context(self, ri_id: str) -> bool:
+        """Whether a usable (existing, unexpired) RI Context is stored."""
+        context = self.storage.ri_contexts.get(ri_id)
+        return context is not None and context.is_valid(self.drm_time())
+
     def _find_anchor(self, subject: str) -> Certificate:
         for anchor in self.trust_anchors:
             if anchor.subject == subject:
@@ -211,8 +216,12 @@ class DRMAgent:
                 domain_id: Optional[str] = None) -> ProtectedRightsObject:
         """Run the 2-pass RO acquisition for ``ro_id``.
 
-        Requires a valid RI Context. All terminal crypto is tagged
-        ``Phase.ACQUISITION``.
+        Requires a valid RI Context: raises
+        :class:`~repro.drm.errors.NotRegisteredError` when none exists
+        and :class:`~repro.drm.errors.ContextExpiredError` when the
+        context is past ``RI_CONTEXT_LIFETIME`` — the distinct type lets
+        a session layer re-register and retry instead of failing
+        opaquely. All terminal crypto is tagged ``Phase.ACQUISITION``.
         """
         with self.crypto.in_phase(Phase.ACQUISITION):
             context = self.storage.get_ri_context(rights_issuer.ri_id,

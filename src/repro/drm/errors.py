@@ -31,6 +31,43 @@ class NotRegisteredError(DRMError):
     """An operation requires a valid RI Context that does not exist."""
 
 
+class ContextExpiredError(NotRegisteredError):
+    """An RI Context exists but is past ``RI_CONTEXT_LIFETIME``.
+
+    Distinct from the plain missing-context case so a session layer can
+    degrade gracefully: an expired context is cured by re-registering,
+    whereas a device that never registered may be mid-provisioning.
+    """
+
+
+class WireDecodeError(DRMError, ValueError):
+    """A transport blob could not be decoded.
+
+    The single failure type for every malformed wire input — truncated,
+    over-length, bit-flipped, non-ASCII length, unknown tag — so callers
+    need exactly one ``except`` to treat garbage from the bearer as a
+    transport fault. Subclasses ``ValueError`` for compatibility with
+    callers of the original decoders.
+    """
+
+
+class ChannelError(DRMError):
+    """The bearer failed to deliver a ROAP message (transport layer)."""
+
+
+class ChannelTimeoutError(ChannelError):
+    """No valid response arrived within the channel timeout."""
+
+
+class RoapStatusError(ChannelError):
+    """The RI answered with a transient error status instead of a
+    signed response (e.g. ``ServerBusy`` under load shedding)."""
+
+    def __init__(self, status: str, message: str = "") -> None:
+        super().__init__(message or "RI returned status %r" % status)
+        self.status = status
+
+
 class NonceMismatchError(DRMError):
     """A ROAP response did not echo the expected nonce (replay defense)."""
 

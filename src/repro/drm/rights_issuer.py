@@ -67,6 +67,27 @@ class _Session:
     ri_nonce: bytes
 
 
+@dataclass(frozen=True)
+class RIDeviceContext:
+    """The RI's record of one registered device.
+
+    The server-side counterpart of the agent's
+    :class:`~repro.drm.storage.RIContext`. ``context_id`` is unique per
+    creation, so tests (and operators) can verify that a replayed
+    RegistrationRequest did not mint a second context.
+    """
+
+    context_id: int
+    device_id: str
+    certificate: Certificate
+    session_id: str
+    registered_at: int
+
+
+#: Upper bound on remembered request nonces (oldest evicted first).
+REPLAY_CACHE_LIMIT = 1024
+
+
 class RightsIssuer:
     """One Rights Issuer with its PKI identity and license catalog."""
 
@@ -86,8 +107,16 @@ class RightsIssuer:
         self.domains = DomainManager(crypto)
         self._offers: Dict[str, LicenseOffer] = {}
         self._sessions: Dict[str, _Session] = {}
-        self._registered: Dict[str, Certificate] = {}
+        self._contexts: Dict[str, RIDeviceContext] = {}
+        self.context_log: list = []
         self._session_counter = itertools.count(1)
+        self._context_counter = itertools.count(1)
+        # Idempotent request handling: device_nonce -> signed response.
+        # A duplicated (replayed) request gets the cached response back
+        # instead of re-running its side effects, so a bearer that
+        # delivers a RegistrationRequest twice cannot mint two contexts
+        # (nor two differently-keyed Rights Objects for one RORequest).
+        self._replay_cache: Dict[bytes, object] = {}
 
     # -- catalog ----------------------------------------------------------
     def add_offer(self, ro_id: str, grant, rights: Rights) -> None:
@@ -101,6 +130,34 @@ class RightsIssuer:
         else:
             grants = tuple(grant)
         self._offers[ro_id] = LicenseOffer(ro_id, grants, rights)
+
+    # -- registered-device records ------------------------------------------
+    def registered_certificate(self,
+                               device_id: str) -> Optional[Certificate]:
+        """The certificate of a registered device, or None."""
+        context = self._contexts.get(device_id)
+        return context.certificate if context is not None else None
+
+    def context_count(self, device_id: str) -> int:
+        """How many RI contexts were ever created for ``device_id``.
+
+        Counts creations, not the current roster, so a replayed
+        RegistrationRequest that (incorrectly) minted a second context
+        would be visible even though the roster maps one id to one entry.
+        """
+        return sum(1 for context in self.context_log
+                   if context.device_id == device_id)
+
+    # -- idempotency ---------------------------------------------------------
+    def _replayed(self, device_nonce: bytes):
+        """The cached response for a request nonce seen before, or None."""
+        return self._replay_cache.get(device_nonce)
+
+    def _remember_response(self, device_nonce: bytes, response) -> None:
+        if len(self._replay_cache) >= REPLAY_CACHE_LIMIT:
+            oldest = next(iter(self._replay_cache))
+            del self._replay_cache[oldest]
+        self._replay_cache[device_nonce] = response
 
     # -- ROAP: registration -------------------------------------------------
     def hello(self, device_hello: DeviceHello) -> RIHello:
@@ -137,7 +194,15 @@ class RightsIssuer:
         Verifies the request signature against the public key in the
         device certificate, validates that certificate against the CA and
         checks revocation (the RI-side equivalent of an OCSP query).
+
+        Idempotent under replay: a request whose nonce was already
+        answered returns the original signed response without creating
+        another RI context, so a bearer that duplicates the message
+        cannot double-register the device.
         """
+        cached = self._replayed(request.device_nonce)
+        if cached is not None:
+            return cached
         session = self._sessions.get(request.session_id)
         if session is None:
             raise RegistrationError(
@@ -152,7 +217,15 @@ class RightsIssuer:
             raise CertificateRevokedError(
                 "device certificate %d is revoked" % certificate.serial
             )
-        self._registered[session.device_id] = certificate
+        context = RIDeviceContext(
+            context_id=next(self._context_counter),
+            device_id=session.device_id,
+            certificate=certificate,
+            session_id=request.session_id,
+            registered_at=self._clock.now,
+        )
+        self._contexts[session.device_id] = context
+        self.context_log.append(context)
         ocsp_response = self._ocsp.respond(self.certificate.serial,
                                            self._clock.now)
         unsigned = RegistrationResponse(
@@ -165,18 +238,28 @@ class RightsIssuer:
         )
         signature = self._crypto.pss_sign(self._keypair,
                                           unsigned.tbs_bytes())
-        return RegistrationResponse(
+        response = RegistrationResponse(
             status=unsigned.status, session_id=unsigned.session_id,
             device_nonce=unsigned.device_nonce,
             ri_certificate=unsigned.ri_certificate,
             ocsp_response=unsigned.ocsp_response,
             ri_time=unsigned.ri_time, signature=signature,
         )
+        self._remember_response(request.device_nonce, response)
+        return response
 
     # -- ROAP: RO acquisition -----------------------------------------------
     def request_ro(self, request: RORequest) -> ROResponse:
-        """2-pass RO acquisition: validate the request, mint the RO."""
-        certificate = self._registered.get(request.device_id)
+        """2-pass RO acquisition: validate the request, mint the RO.
+
+        Idempotent under replay: a duplicated RORequest receives the
+        original response (the same minted RO) rather than a second RO
+        with fresh keys.
+        """
+        cached = self._replayed(request.device_nonce)
+        if cached is not None:
+            return cached
+        certificate = self.registered_certificate(request.device_id)
         if certificate is None:
             raise AcquisitionError(
                 "device %r holds no registration with %r"
@@ -201,10 +284,12 @@ class RightsIssuer:
         )
         signature = self._crypto.pss_sign(self._keypair,
                                           unsigned.tbs_bytes())
-        return ROResponse(
+        response = ROResponse(
             status=unsigned.status, device_nonce=unsigned.device_nonce,
             protected_ro=unsigned.protected_ro, signature=signature,
         )
+        self._remember_response(request.device_nonce, response)
+        return response
 
     def _build_ro(self, offer: LicenseOffer, krek: bytes,
                   domain_id: Optional[str]) -> RightsObject:
@@ -273,8 +358,15 @@ class RightsIssuer:
         self.domains.create(domain_id, max_members)
 
     def join_domain(self, request: JoinDomainRequest) -> JoinDomainResponse:
-        """2-pass domain join: enroll the device, ship the domain key."""
-        certificate = self._registered.get(request.device_id)
+        """2-pass domain join: enroll the device, ship the domain key.
+
+        Idempotent under replay: a duplicated JoinDomainRequest returns
+        the original response instead of consuming a second roster slot.
+        """
+        cached = self._replayed(request.device_nonce)
+        if cached is not None:
+            return cached
+        certificate = self.registered_certificate(request.device_id)
         if certificate is None:
             raise DomainError(
                 "device %r must register before joining a domain"
@@ -293,17 +385,27 @@ class RightsIssuer:
         )
         signature = self._crypto.pss_sign(self._keypair,
                                           unsigned.tbs_bytes())
-        return JoinDomainResponse(
+        response = JoinDomainResponse(
             status=unsigned.status, domain_id=unsigned.domain_id,
             device_nonce=unsigned.device_nonce,
             protected_domain_key=unsigned.protected_domain_key,
             signature=signature,
         )
+        self._remember_response(request.device_nonce, response)
+        return response
 
     def leave_domain(self,
                      request: LeaveDomainRequest) -> LeaveDomainResponse:
-        """2-pass domain leave: verify the request, update the roster."""
-        certificate = self._registered.get(request.device_id)
+        """2-pass domain leave: verify the request, update the roster.
+
+        Idempotent under replay, so a duplicated LeaveDomainRequest is
+        not rejected as a not-a-member error after the first delivery
+        already removed the device.
+        """
+        cached = self._replayed(request.device_nonce)
+        if cached is not None:
+            return cached
+        certificate = self.registered_certificate(request.device_id)
         if certificate is None:
             raise DomainError(
                 "unknown device %r cannot leave a domain"
@@ -324,10 +426,12 @@ class RightsIssuer:
         )
         signature = self._crypto.pss_sign(self._keypair,
                                           unsigned.tbs_bytes())
-        return LeaveDomainResponse(
+        response = LeaveDomainResponse(
             status=unsigned.status, domain_id=unsigned.domain_id,
             device_nonce=unsigned.device_nonce, signature=signature,
         )
+        self._remember_response(request.device_nonce, response)
+        return response
 
     # -- ROAP: triggers -------------------------------------------------------
     def trigger(self, trigger_type: TriggerType,

@@ -4,9 +4,13 @@ ROAP is the communication protocol between DRM Agent and Rights Issuer
 (paper §2): the 4-pass registration (DeviceHello, RIHello,
 RegistrationRequest, RegistrationResponse), the 2-pass RO acquisition
 (RORequest, ROResponse) and the 2-pass domain join
-(JoinDomainRequest/Response).
+(JoinDomainRequest/Response). :mod:`~repro.drm.roap.wire` carries the
+messages as canonical bytes; :mod:`~repro.drm.roap.faults` injects
+deterministic transport faults into that byte pipe.
 """
 
+from .faults import (FaultEvent, FaultKind, FaultLog, FaultPlan,
+                     FaultPolicy, FaultyChannel)
 from .messages import (DeviceHello, JoinDomainRequest, JoinDomainResponse,
                        LeaveDomainRequest, LeaveDomainResponse,
                        RegistrationRequest, RegistrationResponse, RIHello,
@@ -16,6 +20,8 @@ from .wire import (MessageLog, WireChannel, WireRecord, decode_message,
                    encode_message)
 
 __all__ = [
+    "FaultEvent", "FaultKind", "FaultLog", "FaultPlan", "FaultPolicy",
+    "FaultyChannel",
     "DeviceHello", "JoinDomainRequest", "JoinDomainResponse",
     "LeaveDomainRequest", "LeaveDomainResponse", "RegistrationRequest",
     "RegistrationResponse", "RIHello", "ROAP_STATUS_OK", "RORequest",

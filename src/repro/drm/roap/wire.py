@@ -19,6 +19,7 @@ from typing import Any, Callable, Dict, List, Tuple
 
 from ...crypto.kem import KemCiphertext
 from .. import serialize
+from ..errors import WireDecodeError
 from ..certificates import certificate_from_bytes
 from ..ocsp import ocsp_response_from_bytes
 from ..rel import rights_from_bytes
@@ -92,19 +93,25 @@ def encode_message(message: Any) -> bytes:
 def decode_message(blob: bytes) -> Any:
     """Rebuild a ROAP message from transport bytes.
 
-    Raises ``ValueError`` for unknown tags or malformed bodies — a
-    corrupted transport fails loudly before any crypto runs.
+    Raises :class:`~repro.drm.errors.WireDecodeError` for unknown tags
+    or malformed bodies — a corrupted transport fails loudly, with one
+    typed exception, before any crypto runs. A truncated, bit-flipped or
+    otherwise garbled blob can therefore always be handled by catching
+    ``WireDecodeError`` alone.
     """
     data = serialize.decode(blob)
     if not isinstance(data, dict) or "roap" not in data:
-        raise ValueError("not a ROAP wire message")
+        raise WireDecodeError("not a ROAP wire message")
     name = data["roap"]
-    if name not in _DECODERS:
-        raise ValueError("unknown ROAP message %r" % (name,))
+    if not isinstance(name, str) or name not in _DECODERS:
+        raise WireDecodeError("unknown ROAP message %r" % (name,))
     try:
         return _DECODERS[name](data["body"])
-    except (KeyError, TypeError) as exc:
-        raise ValueError("malformed %s body" % name) from exc
+    except WireDecodeError:
+        raise
+    except (KeyError, TypeError, ValueError, IndexError, AttributeError,
+            OverflowError) as exc:
+        raise WireDecodeError("malformed %s body" % name) from exc
 
 
 _ENCODERS: Dict[str, Callable[[Any], dict]] = {
@@ -270,10 +277,20 @@ class WireChannel:
     def _roundtrip(self, handler, request):
         request_blob = encode_message(request)
         self.log.add("device->ri", request, request_blob)
+        response_blob = self._deliver(handler, request, request_blob)
+        return decode_message(response_blob)
+
+    def _deliver(self, handler, request, request_blob):
+        """Carry one request blob to the RI and its response blob back.
+
+        The single transport hook: subclasses (the fault-injecting
+        channel) override this to perturb, drop, duplicate or delay
+        either direction while the protocol surface stays identical.
+        """
         response = handler(decode_message(request_blob))
         response_blob = encode_message(response)
         self.log.add("ri->device", response, response_blob)
-        return decode_message(response_blob)
+        return response_blob
 
     def hello(self, device_hello):
         """DeviceHello over the wire."""

@@ -19,9 +19,23 @@ The encoding is a typed netstring format:
 
 Mappings serialize with sorted keys, so two structurally equal objects
 always produce identical bytes — the property signatures and MACs need.
+
+Decoding is hardened against hostile input: a blob arriving off a lossy
+or adversarial bearer may be truncated, bit-flipped, over-length or
+arbitrarily garbled, and every such failure raises the single typed
+:class:`~repro.drm.errors.WireDecodeError` — never a bare ``IndexError``,
+``KeyError`` or ``UnicodeDecodeError`` that would leak decoder internals
+into protocol logic.
 """
 
 from typing import Any
+
+from .errors import WireDecodeError
+
+#: Maximum nesting depth accepted by the decoder — deeper input is
+#: hostile (no DRM object nests beyond a handful of levels) and would
+#: otherwise turn a small blob into deep recursion.
+MAX_DEPTH = 32
 
 
 def _frame(tag: str, payload: bytes) -> bytes:
@@ -59,9 +73,10 @@ def encode(value: Any) -> bytes:
 class _Reader:
     """Sequential decoder over one canonical byte string."""
 
-    def __init__(self, data: bytes) -> None:
+    def __init__(self, data: bytes, depth: int = 0) -> None:
         self._data = data
         self._pos = 0
+        self._depth = depth
 
     def at_end(self) -> bool:
         return self._pos >= len(self._data)
@@ -69,44 +84,67 @@ class _Reader:
     def read_value(self) -> Any:
         tag, payload = self._read_frame()
         if tag == "s":
-            return payload.decode("utf-8")
+            try:
+                return payload.decode("utf-8")
+            except UnicodeDecodeError:
+                raise WireDecodeError(
+                    "invalid UTF-8 in canonical string") from None
         if tag == "b":
             return payload
         if tag == "i":
-            return int(payload.decode("ascii"))
+            try:
+                return int(payload.decode("ascii"))
+            except (UnicodeDecodeError, ValueError):
+                raise WireDecodeError(
+                    "malformed canonical integer") from None
         if tag == "n":
+            if payload:
+                raise WireDecodeError("non-empty None payload")
             return None
         if tag == "t":
+            if payload not in (b"0", b"1"):
+                raise WireDecodeError("malformed canonical bool")
             return payload == b"1"
         if tag == "l":
             return self._read_items(payload)
         if tag == "d":
             items = self._read_items(payload)
             if len(items) % 2:
-                raise ValueError("dangling key in canonical mapping")
-            return dict(zip(items[::2], items[1::2]))
-        raise ValueError("unknown canonical tag %r" % tag)
+                raise WireDecodeError(
+                    "dangling key in canonical mapping")
+            keys = items[::2]
+            if any(not isinstance(key, str) for key in keys):
+                raise WireDecodeError(
+                    "canonical mapping key is not a string")
+            return dict(zip(keys, items[1::2]))
+        raise WireDecodeError("unknown canonical tag %r" % tag)
 
     def _read_frame(self) -> tuple:
         data = self._data
         if self._pos >= len(data):
-            raise ValueError("truncated canonical value")
+            raise WireDecodeError("truncated canonical value")
         tag = chr(data[self._pos])
         self._pos += 1
         colon = data.find(b":", self._pos)
         if colon < 0:
-            raise ValueError("missing length separator")
-        length = int(data[self._pos:colon].decode("ascii"))
+            raise WireDecodeError("missing length separator")
+        digits = data[self._pos:colon]
+        # isdigit() accepts only ASCII digits on bytes, so this rejects
+        # empty, signed, non-ASCII and fractional lengths in one check.
+        if not digits.isdigit():
+            raise WireDecodeError("malformed canonical length")
+        length = int(digits)
         start = colon + 1
         end = start + length
         if end > len(data):
-            raise ValueError("truncated canonical payload")
+            raise WireDecodeError("truncated canonical payload")
         self._pos = end
         return tag, data[start:end]
 
-    @staticmethod
-    def _read_items(payload: bytes) -> list:
-        reader = _Reader(payload)
+    def _read_items(self, payload: bytes) -> list:
+        if self._depth >= MAX_DEPTH:
+            raise WireDecodeError("canonical value nests too deeply")
+        reader = _Reader(payload, depth=self._depth + 1)
         items = []
         while not reader.at_end():
             items.append(reader.read_value())
@@ -114,9 +152,17 @@ class _Reader:
 
 
 def decode(data: bytes) -> Any:
-    """Decode one canonical value; rejects trailing garbage."""
-    reader = _Reader(data)
+    """Decode one canonical value; rejects trailing garbage.
+
+    Raises :class:`~repro.drm.errors.WireDecodeError` for any malformed
+    input, including inputs that are not byte strings at all.
+    """
+    if not isinstance(data, (bytes, bytearray)):
+        raise WireDecodeError(
+            "canonical decoding requires bytes, got %r"
+            % type(data).__name__)
+    reader = _Reader(bytes(data))
     value = reader.read_value()
     if not reader.at_end():
-        raise ValueError("trailing bytes after canonical value")
+        raise WireDecodeError("trailing bytes after canonical value")
     return value

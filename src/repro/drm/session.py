@@ -1,0 +1,277 @@
+"""Resilient ROAP sessions: drive protocol flows to a terminal outcome.
+
+The :class:`~repro.drm.agent.DRMAgent` implements one *attempt* of each
+ROAP flow and fails loudly on any transport or validation problem. On a
+real bearer those failures are routine — messages drop, arrive garbled,
+stale or twice — so a terminal needs a session layer that retries until
+the flow completes or a budget is spent, and reports a terminal outcome
+instead of leaking whichever exception the last attempt happened to die
+of.
+
+:class:`RoapSession` is that layer, a small state machine::
+
+    IDLE -> IN_FLIGHT -> COMPLETED
+               |  ^
+               v  |  (retryable failure, budget left)
+             BACKOFF
+               |
+               v  (budget exhausted / fatal failure)
+            ABORTED
+
+Design points:
+
+* **Bounded retries, exponential backoff, deterministic jitter.** Wait
+  times are spent on the shared
+  :class:`~repro.drm.clock.SimulationClock`; jitter derives from the
+  session name and attempt number through SHA-1, so runs are exactly
+  reproducible — no hidden global randomness.
+* **Nonce-fresh re-signing.** Every retry re-runs the agent flow, which
+  draws a fresh nonce and re-signs the request; a retry is a new
+  protocol attempt, never a byte replay (byte replays are what the RI's
+  replay cache absorbs).
+* **Graceful degradation.** ``acquire``/``join_domain`` catch
+  :class:`~repro.drm.errors.ContextExpiredError` and transparently
+  re-register before retrying, instead of surfacing an opaque failure
+  for a device whose year-old RI Context just lapsed.
+* **Priced retries.** The agent's crypto provider meters every attempt,
+  so the cost model sees exactly what retries re-spend; see
+  :mod:`repro.analysis.resilience` for the expected overhead as a
+  function of loss rate.
+
+Retryable failures are transport faults and everything corruption
+produces: timeouts, decode failures, nonce mismatches, signature and
+trust-chain failures, and transient RI error statuses. Semantic refusals
+(unknown license, permission denied, version mismatch) abort
+immediately — retrying cannot cure them.
+"""
+
+import enum
+from dataclasses import dataclass
+from typing import Any, Callable, List, Optional, Tuple
+
+from ..crypto.errors import SignatureError
+from ..crypto.sha1 import sha1
+from .errors import (ChannelError, ContextExpiredError, DRMError,
+                     NonceMismatchError, TrustError, WireDecodeError)
+
+#: Failures one more attempt can plausibly cure. ``TrustError`` is
+#: included because under a faulty bearer a failed certificate check is
+#: overwhelmingly a corrupted response; the retry budget bounds the cost
+#: when it is not.
+RETRYABLE_ERRORS = (ChannelError, WireDecodeError, NonceMismatchError,
+                    SignatureError, TrustError)
+
+
+class SessionState(enum.Enum):
+    """States of the session state machine."""
+
+    IDLE = "idle"
+    IN_FLIGHT = "in-flight"
+    BACKOFF = "backoff"
+    REREGISTERING = "re-registering"
+    COMPLETED = "completed"
+    ABORTED = "aborted"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+class Outcome(enum.Enum):
+    """Terminal result of one driven flow."""
+
+    COMPLETED = "completed"
+    ABORTED = "aborted"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Bounded retries with exponential backoff and deterministic jitter.
+
+    ``backoff_seconds(n)`` for attempt ``n`` (1-based) is
+    ``base * multiplier^(n-1)`` capped at ``max_backoff_seconds``, plus
+    a jitter of 0..``jitter_seconds`` derived deterministically from the
+    salt and attempt number (desynchronizing a fleet of devices without
+    nondeterminism in any single one).
+    """
+
+    max_attempts: int = 5
+    base_backoff_seconds: int = 2
+    backoff_multiplier: float = 2.0
+    max_backoff_seconds: int = 300
+    jitter_seconds: int = 3
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError("at least one attempt is required")
+        if self.base_backoff_seconds < 0 or self.jitter_seconds < 0:
+            raise ValueError("backoff and jitter must be non-negative")
+        if self.backoff_multiplier < 1.0:
+            raise ValueError("backoff must not shrink across attempts")
+
+    def backoff_seconds(self, attempt: int, salt: str = "") -> int:
+        """Wait before the attempt after ``attempt`` failed (1-based)."""
+        if attempt < 1:
+            raise ValueError("attempts are counted from 1")
+        base = self.base_backoff_seconds \
+            * self.backoff_multiplier ** (attempt - 1)
+        delay = min(int(base), self.max_backoff_seconds)
+        if self.jitter_seconds:
+            digest = sha1(("%s/%d" % (salt, attempt)).encode("utf-8"))
+            delay += digest[0] % (self.jitter_seconds + 1)
+        return delay
+
+
+@dataclass(frozen=True)
+class Transition:
+    """One state-machine transition, timestamped on the simulation clock."""
+
+    state: SessionState
+    at: int
+    note: str = ""
+
+
+@dataclass(frozen=True)
+class SessionOutcome:
+    """The terminal result of one driven flow.
+
+    ``value`` carries the flow's product (an RI context, a protected RO,
+    a domain context) when completed; ``reason`` explains an abort.
+    """
+
+    outcome: Outcome
+    value: Any = None
+    attempts: int = 0
+    reason: Optional[str] = None
+    reregistrations: int = 0
+    elapsed_seconds: int = 0
+    transitions: Tuple[Transition, ...] = ()
+
+    @property
+    def completed(self) -> bool:
+        """Whether the flow reached COMPLETED."""
+        return self.outcome is Outcome.COMPLETED
+
+
+class RoapSession:
+    """Drives an agent's ROAP flows over an unreliable channel.
+
+    ``channel`` is anything with the RI protocol surface — a bare
+    :class:`~repro.drm.rights_issuer.RightsIssuer`, a
+    :class:`~repro.drm.roap.wire.WireChannel`, or a
+    :class:`~repro.drm.roap.faults.FaultyChannel`. The session never
+    raises for protocol failures: each flow returns a
+    :class:`SessionOutcome` that is either ``Completed`` or
+    ``Aborted(reason)``.
+    """
+
+    def __init__(self, agent, channel,
+                 policy: RetryPolicy = RetryPolicy(),
+                 name: str = "roap-session") -> None:
+        self.agent = agent
+        self.channel = channel
+        self.policy = policy
+        self.name = name
+        self.transitions: List[Transition] = []
+        self.state = SessionState.IDLE
+        self._enter(SessionState.IDLE, "session created")
+
+    @property
+    def clock(self):
+        """The simulation clock all waits are spent on."""
+        return self.agent.clock
+
+    def _enter(self, state: SessionState, note: str = "") -> None:
+        self.state = state
+        self.transitions.append(
+            Transition(state=state, at=self.clock.now, note=note))
+
+    # -- public flows -----------------------------------------------------
+    def register(self) -> SessionOutcome:
+        """Drive the 4-pass registration to a terminal outcome."""
+        return self._drive("register",
+                           lambda: self.agent.register(self.channel))
+
+    def acquire(self, ro_id: str,
+                domain_id: Optional[str] = None) -> SessionOutcome:
+        """Drive the 2-pass RO acquisition, re-registering if expired."""
+        return self._drive(
+            "acquire",
+            lambda: self.agent.acquire(self.channel, ro_id,
+                                       domain_id=domain_id),
+            reregister_on_expiry=True)
+
+    def join_domain(self, domain_id: str) -> SessionOutcome:
+        """Drive the 2-pass domain join, re-registering if expired."""
+        return self._drive(
+            "join-domain",
+            lambda: self.agent.join_domain(self.channel, domain_id),
+            reregister_on_expiry=True)
+
+    # -- the retry loop ---------------------------------------------------
+    def _drive(self, label: str, step: Callable[[], Any],
+               reregister_on_expiry: bool = False) -> SessionOutcome:
+        started = self.clock.now
+        attempts = 0
+        reregistrations = 0
+        last_error: Optional[Exception] = None
+        while attempts < self.policy.max_attempts:
+            attempts += 1
+            self._enter(SessionState.IN_FLIGHT,
+                        "%s attempt %d/%d"
+                        % (label, attempts, self.policy.max_attempts))
+            try:
+                value = step()
+            except ContextExpiredError as exc:
+                if not reregister_on_expiry or reregistrations >= 1:
+                    return self._abort(label, started, attempts,
+                                       reregistrations, str(exc))
+                reregistrations += 1
+                self._enter(SessionState.REREGISTERING, str(exc))
+                recovery = self._drive(
+                    "register",
+                    lambda: self.agent.register(self.channel))
+                if not recovery.completed:
+                    return self._abort(
+                        label, started, attempts, reregistrations,
+                        "re-registration failed: %s" % recovery.reason)
+                continue
+            except RETRYABLE_ERRORS as exc:
+                last_error = exc
+                if attempts >= self.policy.max_attempts:
+                    break
+                delay = self.policy.backoff_seconds(
+                    attempts, salt="%s/%s" % (self.name, label))
+                self._enter(SessionState.BACKOFF,
+                            "retry in %d s after %s: %s"
+                            % (delay, type(exc).__name__, exc))
+                self.clock.advance(delay)
+            except DRMError as exc:
+                # Semantic refusal — retrying cannot change the answer.
+                return self._abort(label, started, attempts,
+                                   reregistrations, str(exc))
+            else:
+                self._enter(SessionState.COMPLETED,
+                            "%s completed after %d attempt(s)"
+                            % (label, attempts))
+                return SessionOutcome(
+                    outcome=Outcome.COMPLETED, value=value,
+                    attempts=attempts,
+                    reregistrations=reregistrations,
+                    elapsed_seconds=self.clock.now - started,
+                    transitions=tuple(self.transitions))
+        return self._abort(
+            label, started, attempts, reregistrations,
+            "retries exhausted after %d attempts (last: %s: %s)"
+            % (attempts, type(last_error).__name__, last_error))
+
+    def _abort(self, label: str, started: int, attempts: int,
+               reregistrations: int, reason: str) -> SessionOutcome:
+        self._enter(SessionState.ABORTED, "%s: %s" % (label, reason))
+        return SessionOutcome(
+            outcome=Outcome.ABORTED, attempts=attempts, reason=reason,
+            reregistrations=reregistrations,
+            elapsed_seconds=self.clock.now - started,
+            transitions=tuple(self.transitions))

@@ -17,7 +17,8 @@ from typing import Dict, Optional
 from ..crypto.rsa import RSAPrivateKey
 from .certificates import Certificate
 from .dcf import DCF
-from .errors import NotRegisteredError, UnknownContentError
+from .errors import (ContextExpiredError, NotRegisteredError,
+                     UnknownContentError)
 from .ro import InstalledRightsObject
 
 
@@ -109,15 +110,23 @@ class DeviceStorage:
         self.ri_contexts[context.ri_id] = context
 
     def get_ri_context(self, ri_id: str, now: int) -> RIContext:
-        """The valid RI Context for ``ri_id``; raises if absent/expired."""
+        """The valid RI Context for ``ri_id``.
+
+        Raises :class:`NotRegisteredError` when no context exists and
+        the more specific :class:`ContextExpiredError` (a subclass) when
+        one exists but is past ``RI_CONTEXT_LIFETIME`` — the session
+        layer cures the latter by re-registering, so an expired context
+        degrades gracefully instead of failing opaquely.
+        """
         context = self.ri_contexts.get(ri_id)
         if context is None:
             raise NotRegisteredError(
                 "no RI Context for %r — register first" % ri_id
             )
         if not context.is_valid(now):
-            raise NotRegisteredError(
-                "RI Context for %r expired — re-register" % ri_id
+            raise ContextExpiredError(
+                "RI Context for %r expired at %d (now %d) — re-register"
+                % (ri_id, context.expires_at, now)
             )
         return context
 

@@ -1,0 +1,122 @@
+"""Fuzzing the wire decoders: malformed bytes never escape the taxonomy.
+
+The hardening contract (see ``docs/resilience.md``): whatever a faulty
+bearer delivers, ``serialize.decode`` and ``wire.decode_message`` either
+return a value or raise a typed :class:`~repro.drm.errors.DRMError`
+(concretely :class:`~repro.drm.errors.WireDecodeError`) — never a bare
+``KeyError``/``UnicodeDecodeError``/``RecursionError`` from the guts of
+the parser.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.drm.errors import DRMError, WireDecodeError
+from repro.drm.rel import play_count
+from repro.drm.roap.wire import WireChannel, decode_message, encode_message
+from repro.drm.serialize import decode, encode
+from repro.usecases.world import DRMWorld
+
+
+class _CapturingChannel(WireChannel):
+    """Records every blob (both directions) that crosses the wire."""
+
+    def __init__(self, rights_issuer):
+        super().__init__(rights_issuer)
+        self.blobs = []
+
+    def _deliver(self, handler, request, request_blob):
+        self.blobs.append(request_blob)
+        response_blob = super()._deliver(handler, request, request_blob)
+        self.blobs.append(response_blob)
+        return response_blob
+
+
+@pytest.fixture(scope="module")
+def valid_blobs():
+    """Real wire blobs from a full registration + acquisition + join."""
+    world = DRMWorld.create("fuzz-wire", rsa_bits=512)
+    world.ci.publish("cid:f", "audio/mpeg", b"tune" * 64, "u")
+    world.ri.add_offer("ro:f", world.ci.negotiate_license("cid:f"),
+                       play_count(3))
+    world.ri.create_domain("domain:f")
+    channel = _CapturingChannel(world.ri)
+    world.agent.register(channel)
+    world.agent.acquire(channel, "ro:f")
+    world.agent.join_domain(channel, "domain:f")
+    world.agent.leave_domain(channel, "domain:f")
+    return channel.blobs
+
+
+@settings(max_examples=300)
+@given(blob=st.binary(max_size=512))
+def test_decode_raw_bytes_never_escapes(blob):
+    try:
+        decode(blob)
+    except WireDecodeError:
+        pass
+
+
+@settings(max_examples=300)
+@given(blob=st.binary(max_size=512))
+def test_decode_message_raw_bytes_never_escapes(blob):
+    try:
+        decode_message(blob)
+    except DRMError:
+        pass
+
+
+@settings(max_examples=200)
+@given(data=st.data())
+def test_truncated_valid_messages_never_escape(valid_blobs, data):
+    blob = data.draw(st.sampled_from(valid_blobs))
+    cut = data.draw(st.integers(min_value=0, max_value=len(blob) - 1))
+    with pytest.raises(WireDecodeError):
+        decode_message(blob[:cut])
+
+
+@settings(max_examples=200)
+@given(data=st.data())
+def test_bit_flipped_valid_messages_never_escape(valid_blobs, data):
+    blob = data.draw(st.sampled_from(valid_blobs))
+    octet = data.draw(st.integers(min_value=0, max_value=len(blob) - 1))
+    bit = data.draw(st.integers(min_value=0, max_value=7))
+    mutated = bytearray(blob)
+    mutated[octet] ^= 1 << bit
+    try:
+        decode_message(bytes(mutated))
+    except DRMError:
+        pass
+
+
+@settings(max_examples=200)
+@given(data=st.data())
+def test_spliced_valid_messages_never_escape(valid_blobs, data):
+    """Concatenations and cross-splices of real blobs stay typed."""
+    first = data.draw(st.sampled_from(valid_blobs))
+    second = data.draw(st.sampled_from(valid_blobs))
+    cut = data.draw(st.integers(min_value=0, max_value=len(first)))
+    try:
+        decode_message(first[:cut] + second)
+    except DRMError:
+        pass
+
+
+def test_deeply_nested_blob_is_rejected_not_recursion_error():
+    blob = encode([])
+    for _ in range(200):
+        blob = b"l%d:%s" % (len(blob), blob)
+    with pytest.raises(WireDecodeError):
+        decode(blob)
+
+
+def test_valid_blobs_round_trip(valid_blobs):
+    for blob in valid_blobs:
+        message = decode_message(blob)
+        assert encode_message(message) == blob
+
+
+def test_decode_rejects_non_bytes():
+    with pytest.raises(WireDecodeError):
+        decode("not bytes")

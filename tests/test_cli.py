@@ -108,6 +108,17 @@ def test_concurrency_overlap_flag(capsys):
     assert code == 0
 
 
+@pytest.mark.slow
+def test_resilience(capsys):
+    code, out = run_cli(capsys, "resilience",
+                        "--loss-rates", "0,0.2")
+    assert code == 0
+    assert "Registration retry overhead" in out
+    for architecture in ("SW", "SW/HW", "HW"):
+        assert architecture in out
+    assert "E[attempts]" in out
+
+
 def test_selftest(capsys):
     code, out = run_cli(capsys, "selftest")
     assert code == 0
@@ -115,6 +126,7 @@ def test_selftest(capsys):
     assert out.count("PASS") >= 7
 
 
+@pytest.mark.slow
 def test_report(capsys, tmp_path):
     path = str(tmp_path / "REPORT.md")
     code, out = run_cli(capsys, "report", "--output", path)
@@ -123,4 +135,5 @@ def test_report(capsys, tmp_path):
         text = handle.read()
     assert "# Reproduction report" in text
     assert "Figure 6" in text and "Figure 7" in text
+    assert "Retry overhead under loss" in text
     assert "## Verdict" in text

@@ -72,3 +72,11 @@ def test_wire_capture(capsys):
     out = capsys.readouterr().out
     assert "ROAP wire capture" in out
     assert "total traffic" in out
+
+
+def test_lossy_channel(capsys):
+    run_example("lossy_channel.py", ["--rsa-bits", "512"])
+    out = capsys.readouterr().out
+    assert "lossy bearer" in out
+    assert "ok" in out
+    assert "crypto SW [ms]" in out
