@@ -1,0 +1,92 @@
+"""Experiment ``fleet``: Rights-Issuer-scale population costs.
+
+The paper's figures price one terminal; this experiment prices an
+operator's whole device population (see :mod:`repro.usecases.fleet`) and
+summarizes, per architecture, what the fleet's DRM workload costs the
+terminals (cycles/time/energy, mean and tail percentiles) and what it
+costs the Rights Issuer (request rate, retry amplification, wire volume).
+
+All statistics come from exact mergeable accumulators, so the numbers
+are bit-identical for any worker count — the rendered artifact is a pure
+function of the :class:`~repro.usecases.fleet.FleetConfig`.
+"""
+
+from dataclasses import dataclass
+
+from ..usecases.fleet import FleetConfig, FleetResult, run_fleet
+from .common import DEFAULT_SEED
+from .formatting import format_table
+
+#: Population used by the report section: big enough for stable tails,
+#: small enough to keep report regeneration interactive.
+REPORT_DEVICES = 20_000
+
+
+@dataclass
+class FleetAnalysis:
+    """The rendered fleet experiment."""
+
+    result: FleetResult
+
+    def render(self) -> str:
+        """Two aligned tables: terminal-side costs, RI-side load."""
+        result = self.result
+        acc = result.accumulator
+
+        arch_rows = []
+        for summary in result.architecture_summaries():
+            arch_rows.append((
+                summary.architecture,
+                "%.0f" % summary.cycles.mean,
+                "%.2f" % summary.mean_ms,
+                "%.2f" % summary.percentile_ms("p50"),
+                "%.2f" % summary.percentile_ms("p95"),
+                "%.2f" % summary.percentile_ms("p99"),
+                "%.1f" % (summary.total_ms / 1000.0),
+                "%.1f" % (summary.total_millijoules / 1000.0),
+            ))
+        config = result.config
+        terminal = format_table(
+            ("arch", "mean [cycles]", "mean [ms]", "p50 [ms]",
+             "p95 [ms]", "p99 [ms]", "fleet total [s]",
+             "fleet energy [J]"),
+            arch_rows,
+            title="Fleet of %d devices (seed %r, %.0f%% lossy at "
+                  "loss %.0f%%)" % (config.devices, config.seed,
+                                    100.0 * config.lossy_fraction,
+                                    100.0 * config.loss_rate))
+
+        families = ", ".join(
+            "%s=%d" % (name, acc.family_devices[name])
+            for name in sorted(acc.family_devices))
+        octets = acc.octets.summary()
+        ri_rows = [
+            ("devices", "%d (%s)" % (acc.devices, families)),
+            ("ROAP requests", str(acc.requests)),
+            ("mean request rate", "%.2f req/s over %d s"
+             % (result.mean_request_rate(), config.window_seconds)),
+            ("peak request rate", "%.2f req/s (%s arrivals, %d bins)"
+             % (result.peak_request_rate(), config.arrival_model,
+                config.arrival_bins)),
+            ("retry requests", "%d (%.1f%% of load)"
+             % (acc.retries, 100.0 * result.retry_request_fraction())),
+            ("failed registrations", str(acc.failed_registrations)),
+            ("failed acquisitions", str(acc.failed_acquisitions)),
+            ("wire volume", "%d octets total, %d mean/device"
+             % (octets.total, round(octets.mean))),
+            ("content accesses served", str(acc.accesses)),
+        ]
+        ri_side = format_table(
+            ("RI-side metric", "value"), ri_rows,
+            title="Rights Issuer load")
+        return terminal + "\n\n" + ri_side
+
+
+def generate(seed: str = DEFAULT_SEED,
+             devices: int = REPORT_DEVICES,
+             workers: int = 1,
+             **config_overrides) -> FleetAnalysis:
+    """Run the fleet experiment at report scale."""
+    config = FleetConfig(devices=devices, seed=seed + "/fleet",
+                         **config_overrides)
+    return FleetAnalysis(result=run_fleet(config, workers=workers))

@@ -11,6 +11,7 @@ Commands:
 * ``battery`` — battery-life impact of a workload per architecture.
 * ``concurrency`` — CPU-busy vs wall-clock under macro offload.
 * ``resilience`` — expected retry overhead on a lossy bearer.
+* ``fleet`` — simulate a large device population against one RI.
 * ``report`` — write the full paper-vs-measured Markdown report.
 * ``selftest`` — run the cryptographic known-answer self-tests.
 """
@@ -19,7 +20,7 @@ import argparse
 import sys
 from typing import List, Optional
 
-from .analysis import (claims, figure5, figure6, figure7, report,
+from .analysis import (claims, figure5, figure6, figure7, fleet, report,
                        resilience, table1)
 from .analysis.common import DEFAULT_SEED
 from .analysis.formatting import format_ms, format_table
@@ -187,6 +188,21 @@ def _command_resilience(args: argparse.Namespace) -> int:
     return 0
 
 
+def _command_fleet(args: argparse.Namespace) -> int:
+    try:
+        analysis = fleet.generate(
+            seed=args.seed, devices=args.devices, workers=args.workers,
+            arrival_model=args.arrival, window_seconds=args.window,
+            lossy_fraction=args.lossy_fraction,
+            loss_rate=args.loss_rate, shard_size=args.shard_size,
+            rsa_bits=args.rsa_bits)
+    except ValueError as error:
+        print("error: %s" % error, file=sys.stderr)
+        return 2
+    print(analysis.render())
+    return 0
+
+
 def _command_report(args: argparse.Namespace) -> int:
     document = report.generate(seed=args.seed)
     document.write(args.output)
@@ -265,6 +281,32 @@ def build_parser() -> argparse.ArgumentParser:
     sub.add_argument("--max-attempts", type=int,
                      default=resilience.DEFAULT_MAX_ATTEMPTS)
     sub.set_defaults(handler=_command_resilience)
+
+    sub = subparsers.add_parser("fleet",
+                                help="simulate a large device "
+                                     "population against one RI")
+    sub.add_argument("--seed", default=DEFAULT_SEED)
+    sub.add_argument("--devices", type=int,
+                     default=fleet.REPORT_DEVICES,
+                     help="population size (10^4-10^6)")
+    sub.add_argument("--workers", type=int, default=1,
+                     help="worker processes; any value gives "
+                          "bit-identical statistics")
+    sub.add_argument("--arrival", choices=("uniform", "peaked"),
+                     default="uniform",
+                     help="arrival distribution over the window")
+    sub.add_argument("--window", type=int, default=3600,
+                     help="arrival window in seconds")
+    sub.add_argument("--lossy-fraction", type=float, default=0.2,
+                     help="fraction of devices on a lossy bearer")
+    sub.add_argument("--loss-rate", type=float, default=0.1,
+                     help="per-transmission loss rate for lossy devices")
+    sub.add_argument("--shard-size", type=int, default=25_000,
+                     help="devices per shard (fixed, worker-"
+                          "independent)")
+    sub.add_argument("--rsa-bits", type=int, default=1024,
+                     help="modulus size for the calibration run")
+    sub.set_defaults(handler=_command_fleet)
 
     sub = subparsers.add_parser("selftest",
                                 help="run the crypto known-answer "

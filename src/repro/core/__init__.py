@@ -7,6 +7,7 @@
 * :mod:`~repro.core.meter` — crypto providers (plain and metered)
 * :mod:`~repro.core.model` — trace pricing into cycles/time breakdowns
 * :mod:`~repro.core.energy` — proportional and per-unit energy models
+* :mod:`~repro.core.stats` — exact mergeable accumulators (fleet scale)
 * :mod:`~repro.core.report` — Figure 5/6/7-shaped report helpers
 """
 
@@ -25,6 +26,7 @@ from .design_space import (DesignPoint, MACRO_AES, MACRO_BLOCKS,
 from .serialization import (breakdown_to_dict, dump_breakdown,
                             dump_trace, load_trace, trace_from_dict,
                             trace_to_dict)
+from .stats import (StatsSummary, StreamingStats, histogram, merge_all)
 from .sweep import (SweepPoint, WorkloadSweep, points_to_csv, write_csv)
 from .costs import (CostOptions, CostTable, HARDWARE_COSTS, Implementation,
                     LinearCost, PAPER_TABLE1, SOFTWARE_COSTS)
@@ -45,6 +47,7 @@ __all__ = [
     "enumerate_design_points", "marginal_value", "pareto_frontier",
     "profile_for_macros", "breakdown_to_dict", "dump_breakdown",
     "dump_trace", "load_trace", "trace_from_dict", "trace_to_dict",
+    "StatsSummary", "StreamingStats", "histogram", "merge_all",
     "SweepPoint", "WorkloadSweep", "points_to_csv", "write_csv",
     "ArchitectureProfile", "DEFAULT_CLOCK_HZ", "HW_PROFILE",
     "PAPER_PROFILES", "SW_HW_PROFILE", "SW_PROFILE", "custom_profile",

@@ -1,0 +1,185 @@
+"""Mergeable streaming statistics for fleet-scale aggregation.
+
+The fleet engine (:mod:`repro.usecases.fleet`) prices 10^4-10^6 simulated
+devices; retaining a per-device trace — or even a per-device scalar — would
+cost O(devices) memory and make multi-process aggregation awkward. A
+:class:`StreamingStats` instead folds every observation into a compact
+value-count distribution the moment it is seen, and two accumulators merge
+into one that is *exactly* equal to the accumulator a single pass over the
+union would have produced.
+
+Design constraints, in order:
+
+* **Exact merges.** ``merge`` must be associative and commutative with
+  bit-identical results, so sharded runs agree with serial runs for any
+  worker count. All internal state is therefore integer-valued (counts and
+  integer observations); no float accumulation order can leak in.
+* **Exact percentiles.** Fleet observations are drawn from discrete
+  parameter grids (scenario family x size bucket x accesses x retry
+  count), so the number of *distinct* values is bounded by the grid, not
+  the population. A ``Counter`` over exact values gives exact p50/p95/p99
+  at O(distinct values) memory.
+* **Cheap ingestion.** ``add`` is a dict increment.
+
+For observations from continuous domains, quantize before adding (the
+accumulator raises on non-integer values rather than silently degrading).
+"""
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Optional, Tuple
+
+#: The percentile levels fleet reports quote.
+REPORT_PERCENTILES = (50.0, 95.0, 99.0)
+
+
+@dataclass(frozen=True)
+class StatsSummary:
+    """A point-in-time summary of one :class:`StreamingStats`."""
+
+    count: int
+    total: int
+    minimum: Optional[int]
+    maximum: Optional[int]
+    mean: float
+    p50: Optional[int]
+    p95: Optional[int]
+    p99: Optional[int]
+
+    def scaled(self, factor: float) -> Tuple[float, float, float, float]:
+        """(mean, p50, p95, p99) under a linear unit conversion.
+
+        Percentiles commute with monotone transforms, so converting the
+        integer cycle summaries to milliseconds or millijoules is exact.
+        """
+        return (self.mean * factor,
+                (self.p50 or 0) * factor,
+                (self.p95 or 0) * factor,
+                (self.p99 or 0) * factor)
+
+
+@dataclass
+class StreamingStats:
+    """Exact, mergeable distribution over integer observations."""
+
+    counts: Counter = field(default_factory=Counter)
+
+    def add(self, value: int, weight: int = 1) -> None:
+        """Fold in ``value`` observed ``weight`` times."""
+        if not isinstance(value, int) or isinstance(value, bool):
+            raise TypeError("observations must be integers; quantize "
+                            "continuous values before adding")
+        if weight < 0:
+            raise ValueError("weight must be non-negative")
+        if weight:
+            self.counts[value] += weight
+
+    def extend(self, values: Iterable[int]) -> None:
+        """Fold in many observations."""
+        for value in values:
+            self.add(value)
+
+    def merge(self, other: "StreamingStats") -> "StreamingStats":
+        """Exact union of two accumulators (associative, commutative)."""
+        merged = Counter(self.counts)
+        merged.update(other.counts)
+        return StreamingStats(counts=merged)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, StreamingStats):
+            return NotImplemented
+        # Counter equality ignores zero-count keys only when absent;
+        # normalize so add(v, 0) histories cannot break equality.
+        return ({k: v for k, v in self.counts.items() if v}
+                == {k: v for k, v in other.counts.items() if v})
+
+    # -- scalar statistics -----------------------------------------------
+    @property
+    def count(self) -> int:
+        """Number of observations."""
+        return sum(self.counts.values())
+
+    @property
+    def total(self) -> int:
+        """Sum of observations."""
+        return sum(value * count for value, count in self.counts.items())
+
+    @property
+    def mean(self) -> float:
+        """Arithmetic mean (0.0 when empty)."""
+        count = self.count
+        return self.total / count if count else 0.0
+
+    @property
+    def minimum(self) -> Optional[int]:
+        """Smallest observation, ``None`` when empty."""
+        return min(self.counts) if self.counts else None
+
+    @property
+    def maximum(self) -> Optional[int]:
+        """Largest observation, ``None`` when empty."""
+        return max(self.counts) if self.counts else None
+
+    def percentile(self, p: float) -> Optional[int]:
+        """Exact percentile via the nearest-rank method.
+
+        The nearest-rank definition (smallest value with cumulative count
+        >= ceil(p/100 * N)) returns an actually-observed value and is
+        stable under merges — unlike interpolating estimators.
+        """
+        if not 0.0 < p <= 100.0:
+            raise ValueError("percentile must be in (0, 100]")
+        count = self.count
+        if not count:
+            return None
+        rank = -(-int(p * count) // 100)  # ceil(p * count / 100)
+        rank = max(rank, 1)
+        cumulative = 0
+        for value in sorted(self.counts):
+            cumulative += self.counts[value]
+            if cumulative >= rank:
+                return value
+        return self.maximum  # pragma: no cover - defensive
+
+    def summary(self) -> StatsSummary:
+        """Snapshot all reported statistics at once."""
+        return StatsSummary(
+            count=self.count, total=self.total,
+            minimum=self.minimum, maximum=self.maximum, mean=self.mean,
+            p50=self.percentile(50.0), p95=self.percentile(95.0),
+            p99=self.percentile(99.0),
+        )
+
+
+def merge_all(accumulators: Iterable[StreamingStats]) -> StreamingStats:
+    """Left fold of :meth:`StreamingStats.merge` over ``accumulators``."""
+    result = StreamingStats()
+    for accumulator in accumulators:
+        result = result.merge(accumulator)
+    return result
+
+
+def histogram(stats: StreamingStats,
+              bins: int = 10) -> Dict[Tuple[int, int], int]:
+    """Equal-width binning of an accumulator, for quick-look rendering.
+
+    Returns ``{(low, high): count}`` with right-open bins except the last.
+    Purely presentational — statistics always come from the exact counts.
+    """
+    if bins < 1:
+        raise ValueError("at least one bin is required")
+    if not stats.counts:
+        return {}
+    low, high = stats.minimum, stats.maximum
+    if low == high:
+        return {(low, high): stats.count}
+    width = (high - low) / bins
+    out: Dict[Tuple[int, int], int] = {}
+    edges = [low + round(i * width) for i in range(bins)] + [high]
+    for i in range(bins):
+        lo, hi = edges[i], edges[i + 1]
+        total = sum(c for v, c in stats.counts.items()
+                    if lo <= v < hi or (i == bins - 1 and v == high))
+        if total:
+            out[(lo, hi)] = total
+    return out

@@ -5,11 +5,16 @@
   workload descriptions (Music Player, Ringtone)
 * :mod:`~repro.usecases.runner` — functional end-to-end execution
 * :mod:`~repro.usecases.workload` — exact rescaling to paper-scale traces
+* :mod:`~repro.usecases.fleet` — sharded large-population simulation
 """
 
 from .catalog import (MUSIC_ACCESSES, MUSIC_CONTENT_OCTETS,
                       RINGTONE_ACCESSES, RINGTONE_CONTENT_OCTETS,
                       music_player, paper_use_cases, ringtone)
+from .fleet import (DEFAULT_FAMILIES, CostTemplates, DeviceDraw,
+                    FleetAccumulator, FleetConfig, FleetResult,
+                    ScenarioFamily, build_cost_templates, draw_device,
+                    run_fleet)
 from .runner import ScenarioRun, run_functional, synthetic_content
 from .scenario import KIB, MIB, UseCase
 from .workload import (DEFAULT_CALIBRATION_OCTETS, dcf_octets_for_content,
@@ -24,4 +29,7 @@ __all__ = [
     "KIB", "MIB", "UseCase", "DEFAULT_CALIBRATION_OCTETS",
     "dcf_octets_for_content", "padded_payload_octets", "paper_trace",
     "run_modeled", "scale_trace", "DRMWorld", "RSA_BITS",
+    "DEFAULT_FAMILIES", "CostTemplates", "DeviceDraw",
+    "FleetAccumulator", "FleetConfig", "FleetResult", "ScenarioFamily",
+    "build_cost_templates", "draw_device", "run_fleet",
 ]

@@ -30,8 +30,16 @@ RSA_BITS = 1024
 
 @dataclass
 class DRMWorld:
-    """One complete, wired-up OMA DRM 2 deployment."""
+    """One complete, wired-up OMA DRM 2 deployment.
 
+    ``seed`` is retained so every stream of randomness the world ever
+    derives — including late :meth:`add_device` provisioning — is a pure
+    function of it. Nothing here is module-level: two worlds never share
+    a DRBG, a clock or any other mutable state, so worlds built inside
+    fork- or spawn-started worker processes cannot alias each other.
+    """
+
+    seed: str
     clock: SimulationClock
     ca: CertificationAuthority
     ocsp: OCSPResponder
@@ -93,8 +101,8 @@ class DRMWorld:
             verify_dcf_on_install=verify_dcf_on_install,
             kdev_optimization=kdev_optimization,
         )
-        return cls(clock=clock, ca=ca, ocsp=ocsp, ri=ri, ci=ci,
-                   agent=agent, agent_crypto=agent_crypto)
+        return cls(seed=seed, clock=clock, ca=ca, ocsp=ocsp, ri=ri,
+                   ci=ci, agent=agent, agent_crypto=agent_crypto)
 
     def add_device(self, name: str, metered: bool = False,
                    clock_skew_seconds: int = 0,
@@ -108,7 +116,11 @@ class DRMWorld:
         """
         if rsa_bits is None:
             rsa_bits = self.agent.secure.device_private_key.modulus_bits
-        seed = ("device/" + name).encode()
+        # Derive from the *world* seed, not the bare device name: two
+        # worlds with different seeds must never hand identical key
+        # streams to same-named devices (the aliasing hazard a sharded
+        # simulation would otherwise inherit).
+        seed = (self.seed + "/device/" + name).encode()
         crypto: PlainCrypto = (MeteredCrypto(HmacDrbg(seed)) if metered
                                else PlainCrypto(HmacDrbg(seed)))
         keys = generate_keypair(rsa_bits, crypto.rng)

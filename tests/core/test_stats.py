@@ -1,0 +1,142 @@
+"""Streaming stats: exactness, percentiles, and the merge laws."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.stats import StreamingStats, histogram, merge_all
+
+observations = st.lists(st.integers(min_value=0, max_value=10_000),
+                        max_size=200)
+
+
+def folded(values):
+    stats = StreamingStats()
+    stats.extend(values)
+    return stats
+
+
+def test_empty_stats():
+    stats = StreamingStats()
+    assert stats.count == 0
+    assert stats.total == 0
+    assert stats.mean == 0.0
+    assert stats.minimum is None and stats.maximum is None
+    assert stats.percentile(50.0) is None
+    summary = stats.summary()
+    assert summary.count == 0 and summary.p99 is None
+
+
+def test_basic_statistics():
+    stats = folded([1, 2, 2, 3, 100])
+    assert stats.count == 5
+    assert stats.total == 108
+    assert stats.mean == pytest.approx(21.6)
+    assert stats.minimum == 1
+    assert stats.maximum == 100
+    assert stats.percentile(50.0) == 2
+    assert stats.percentile(100.0) == 100
+
+
+def test_weighted_add():
+    stats = StreamingStats()
+    stats.add(7, weight=1000)
+    stats.add(9, weight=0)  # no-op
+    assert stats.count == 1000
+    assert stats.total == 7000
+    assert stats.maximum == 7
+
+
+def test_rejects_non_integer_observations():
+    stats = StreamingStats()
+    with pytest.raises(TypeError):
+        stats.add(1.5)
+    with pytest.raises(TypeError):
+        stats.add(True)
+    with pytest.raises(ValueError):
+        stats.add(1, weight=-1)
+
+
+def test_percentile_bounds():
+    stats = folded([1, 2, 3])
+    with pytest.raises(ValueError):
+        stats.percentile(0.0)
+    with pytest.raises(ValueError):
+        stats.percentile(101.0)
+
+
+def test_percentile_nearest_rank():
+    # 100 observations 1..100: nearest-rank p95 is the 95th value.
+    stats = folded(list(range(1, 101)))
+    assert stats.percentile(50.0) == 50
+    assert stats.percentile(95.0) == 95
+    assert stats.percentile(99.0) == 99
+    assert stats.percentile(1.0) == 1
+
+
+def test_summary_scaled_is_linear():
+    stats = folded([10, 20, 30, 40])
+    summary = stats.summary()
+    mean, p50, p95, p99 = summary.scaled(0.5)
+    assert mean == pytest.approx(summary.mean * 0.5)
+    assert p50 == summary.p50 * 0.5
+    assert p99 == summary.p99 * 0.5
+
+
+def test_histogram_bins_cover_everything():
+    stats = folded([0, 5, 5, 9, 100])
+    bins = histogram(stats, bins=4)
+    assert sum(bins.values()) == stats.count
+    assert histogram(StreamingStats()) == {}
+    assert histogram(folded([3, 3])) == {(3, 3): 2}
+
+
+@given(values=observations)
+@settings(max_examples=200, deadline=None)
+def test_merge_equals_single_pass(values):
+    """Splitting anywhere and merging matches one pass over the union."""
+    for split in (0, len(values) // 2, len(values)):
+        left, right = values[:split], values[split:]
+        merged = folded(left).merge(folded(right))
+        assert merged == folded(values)
+        assert merged.summary() == folded(values).summary()
+
+
+@given(a=observations, b=observations)
+@settings(max_examples=200, deadline=None)
+def test_merge_commutative(a, b):
+    assert folded(a).merge(folded(b)) == folded(b).merge(folded(a))
+
+
+@given(a=observations, b=observations, c=observations)
+@settings(max_examples=200, deadline=None)
+def test_merge_associative(a, b, c):
+    sa, sb, sc = folded(a), folded(b), folded(c)
+    assert sa.merge(sb).merge(sc) == sa.merge(sb.merge(sc))
+
+
+@given(a=observations)
+@settings(max_examples=100, deadline=None)
+def test_merge_identity(a):
+    stats = folded(a)
+    assert stats.merge(StreamingStats()) == stats
+    assert StreamingStats().merge(stats) == stats
+
+
+@given(chunks=st.lists(observations, max_size=6))
+@settings(max_examples=100, deadline=None)
+def test_merge_all_matches_flat_fold(chunks):
+    flat = [value for chunk in chunks for value in chunk]
+    assert merge_all(folded(chunk) for chunk in chunks) == folded(flat)
+
+
+@given(values=st.lists(st.integers(min_value=0, max_value=10_000),
+                       min_size=1, max_size=200),
+       p=st.floats(min_value=0.01, max_value=100.0))
+@settings(max_examples=200, deadline=None)
+def test_percentile_matches_sorted_reference(values, p):
+    """Nearest-rank percentile agrees with the sorted-list definition."""
+    stats = folded(values)
+    ordered = sorted(values)
+    rank = max(1, -(-int(p * len(values)) // 100))
+    assert stats.percentile(p) == ordered[rank - 1]

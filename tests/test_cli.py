@@ -119,6 +119,26 @@ def test_resilience(capsys):
     assert "E[attempts]" in out
 
 
+def test_fleet(capsys):
+    code, out = run_cli(capsys, "fleet", "--devices", "500",
+                        "--workers", "2", "--rsa-bits", "512",
+                        "--shard-size", "100", "--seed", "cli-fleet")
+    assert code == 0
+    assert "Fleet of 500 devices" in out
+    assert "Rights Issuer load" in out
+    for architecture in ("SW", "SW/HW", "HW"):
+        assert architecture in out
+    assert "p99 [ms]" in out
+    assert "mean request rate" in out
+
+
+def test_fleet_rejects_bad_config(capsys):
+    code = main(["fleet", "--devices", "0"])
+    err = capsys.readouterr().err
+    assert code == 2
+    assert "error:" in err
+
+
 def test_selftest(capsys):
     code, out = run_cli(capsys, "selftest")
     assert code == 0

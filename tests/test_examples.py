@@ -80,3 +80,13 @@ def test_lossy_channel(capsys):
     assert "lossy bearer" in out
     assert "ok" in out
     assert "crypto SW [ms]" in out
+
+
+def test_fleet_million(capsys):
+    run_example("fleet_million.py",
+                ["--devices", "1000", "--workers", "2",
+                 "--rsa-bits", "512", "--seed", "example-fleet"])
+    out = capsys.readouterr().out
+    assert "simulated 1000 devices" in out
+    assert "Rights Issuer load" in out
+    assert "bit-identical to 2-worker run: yes" in out
