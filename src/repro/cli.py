@@ -14,6 +14,7 @@ Commands:
 * ``fleet`` — simulate a large device population against one RI.
 * ``report`` — write the full paper-vs-measured Markdown report.
 * ``selftest`` — run the cryptographic known-answer self-tests.
+* ``lint`` — run the AST-based invariant analyzer (``repro.lint``).
 """
 
 import argparse
@@ -28,6 +29,7 @@ from .core.architecture import PAPER_PROFILES
 from .core.battery import Battery, battery_impact
 from .core.concurrency import analyze as analyze_concurrency
 from .crypto.selftest import run_self_tests
+from .lint import cli as lint_cli
 from .core.design_space import (MacroCosts, enumerate_design_points,
                                 pareto_frontier)
 from .core.model import PerformanceModel
@@ -312,6 +314,12 @@ def build_parser() -> argparse.ArgumentParser:
                                 help="run the crypto known-answer "
                                      "self-tests")
     sub.set_defaults(handler=_command_selftest)
+
+    sub = subparsers.add_parser("lint",
+                                help="run the AST-based invariant "
+                                     "analyzer")
+    lint_cli.add_arguments(sub)
+    sub.set_defaults(handler=lint_cli.run)
 
     sub = subparsers.add_parser("report",
                                 help="write the full paper-vs-measured "

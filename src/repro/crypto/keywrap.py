@@ -18,6 +18,7 @@ alternative indexing formulation.
 import struct
 
 from .aes import AES
+from .encoding import constant_time_equal
 from .errors import InvalidKeyError, UnwrapError
 
 #: RFC 3394 default initial value (integrity check register).
@@ -81,7 +82,7 @@ def unwrap(kek: bytes, wrapped_key: bytes, iv: bytes = DEFAULT_IV) -> bytes:
             block = cipher.decrypt_block(a_xored + r[i])
             a = block[:8]
             r[i] = block[8:]
-    if a != iv:
+    if not constant_time_equal(a, iv):
         raise UnwrapError("key unwrap integrity check failed")
     return b"".join(r)
 

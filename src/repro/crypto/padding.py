@@ -5,6 +5,7 @@ of 16-octet blocks. A malformed pad on decryption is a tamper indicator and
 raises :class:`PaddingError`.
 """
 
+from .encoding import constant_time_equal
 from .errors import PaddingError
 
 
@@ -25,6 +26,7 @@ def unpad(data: bytes, block_size: int = 16) -> bytes:
     pad_length = data[-1]
     if pad_length < 1 or pad_length > block_size:
         raise PaddingError("padding length byte out of range")
-    if data[-pad_length:] != bytes([pad_length] * pad_length):
+    if not constant_time_equal(data[-pad_length:],
+                               bytes([pad_length] * pad_length)):
         raise PaddingError("padding bytes are inconsistent")
     return data[:-pad_length]

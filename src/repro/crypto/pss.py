@@ -13,7 +13,7 @@ performance layer decides which hashes to count (see
 
 from dataclasses import dataclass
 
-from .encoding import i2osp, os2ip, xor_bytes
+from .encoding import constant_time_equal, i2osp, os2ip, xor_bytes
 from .errors import MessageTooLongError, SignatureError
 from .rng import HmacDrbg
 from .rsa import RSAPrivateKey, RSAPublicKey, rsasp1, rsavp1
@@ -100,7 +100,7 @@ def emsa_pss_verify(message: bytes, encoded: bytes, em_bits: int,
     salt = bytes(db[separator + 1:])
     m_hash = sha1(message)
     m_prime = b"\x00" * 8 + m_hash + salt
-    return sha1(m_prime) == h
+    return constant_time_equal(sha1(m_prime), h)
 
 
 def pss_sign(private_key: RSAPrivateKey, message: bytes,

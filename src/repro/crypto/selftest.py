@@ -59,11 +59,12 @@ def _check_keywrap() -> bool:
     wrapped = wrap(kek, key)
     return wrapped.hex().upper() \
         == "1FA68B0A8112B447AEF34BD8FB5A7B829D3E862371D2CFE5" \
-        and unwrap(kek, wrapped) == key
+        and unwrap(kek, wrapped) == key  # repro: allow[REP302] -- KAT equality against a public RFC 3394 vector, not an adversarial comparison
 
 
 def _check_kdf2() -> bool:
     # KDF2's structural identity: first block is Hash(Z || 00000001).
+    # repro: allow[REP302] -- structural self-check on public constants; no secret-dependent timing
     return kdf2(b"Z" * 16, 20) == sha1(b"Z" * 16 + b"\x00\x00\x00\x01")
 
 

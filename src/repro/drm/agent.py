@@ -465,18 +465,23 @@ class DRMAgent:
                               self.drm_time())
 
         def stream():
-            from ..crypto.padding import unpad
             ciphertext = dcf.encrypted_data
             previous_block = dcf.iv
             with self.crypto.in_phase(Phase.CONSUMPTION):
                 for offset in range(0, len(ciphertext), chunk_octets):
                     chunk = ciphertext[offset:offset + chunk_octets]
-                    clear = self.crypto.aes_cbc_decrypt_raw(
-                        kcek, previous_block, chunk,
-                        label="content-decrypt-chunk")
-                    previous_block = chunk[-16:]
                     if offset + chunk_octets >= len(ciphertext):
-                        clear = unpad(clear)
+                        # Final chunk: the provider's padded decrypt
+                        # strips PKCS#7 and meters the same AES blocks
+                        # the raw variant would.
+                        clear = self.crypto.aes_cbc_decrypt(
+                            kcek, previous_block, chunk,
+                            label="content-decrypt-chunk")
+                    else:
+                        clear = self.crypto.aes_cbc_decrypt_raw(
+                            kcek, previous_block, chunk,
+                            label="content-decrypt-chunk")
+                        previous_block = chunk[-16:]
                     yield clear
 
         return stream()

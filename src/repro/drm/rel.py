@@ -19,7 +19,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
 from . import serialize
-from .errors import PermissionDeniedError
+from .errors import PermissionDeniedError, WireDecodeError
 
 
 class PermissionType(enum.Enum):
@@ -264,7 +264,7 @@ def rights_from_bytes(blob: bytes) -> Rights:
     """Inverse of :meth:`Rights.to_bytes` (wire decoding)."""
     described = serialize.decode(blob)
     if not isinstance(described, list):
-        raise ValueError("rights blob does not decode to a list")
+        raise WireDecodeError("rights blob does not decode to a list")
     return Rights(permissions=tuple(
         permission_from_dict(p) for p in described
     ))

@@ -50,6 +50,7 @@ from dataclasses import dataclass
 from typing import Any, Callable, List, Optional, Tuple
 
 from ..crypto.errors import SignatureError
+# repro: allow[REP201] -- jitter derivation is session bookkeeping, intentionally unpriced like the DRBG (see repro.core.meter); routing it through the provider would distort the paper's Table 1 costs
 from ..crypto.sha1 import sha1
 from .errors import (ChannelError, ContextExpiredError, DRMError,
                      NonceMismatchError, TrustError, WireDecodeError)

@@ -1,0 +1,41 @@
+"""``repro.lint`` — AST-based invariant analyzer for this repository.
+
+The paper's cost model is only trustworthy if every crypto operation a
+protocol run performs is priced, and the fleet engine is only useful if
+shard merges stay bit-identical. Both are *invariants of the codebase*;
+this package enforces them statically instead of by convention.
+
+Four rule families (see :mod:`repro.lint.rules` and
+``docs/static-analysis.md``):
+
+* **REP1xx determinism** — no wall-clock reads, OS entropy, unseeded
+  RNGs, or set-iteration-order leaks in priced or sharded paths
+  (``repro.usecases``, ``repro.analysis``).
+* **REP2xx metering completeness** — ``repro.drm`` must route all crypto
+  through the :class:`~repro.core.meter.PlainCrypto` /
+  :class:`~repro.core.meter.MeteredCrypto` provider, never call
+  :mod:`repro.crypto` primitives directly (REP201) or reach them
+  through an intermediary module (REP202, via the import graph and
+  per-function call summaries in :mod:`repro.lint.graph`).
+* **REP3xx secret hygiene** — no key material interpolated into strings,
+  logs, or exception messages; no variable-time ``==`` on digest/tag
+  bytes inside ``repro.crypto``.
+* **REP4xx error contracts** — no bare ``except:``, no silent
+  ``except ...: pass`` in protocol code, typed
+  :class:`~repro.drm.errors.WireDecodeError` in wire-decode paths.
+
+Findings can be fixed, suppressed inline with a *justified*
+``# repro: allow[REPnnn] -- reason`` comment, or grandfathered in the
+committed baseline file. Run ``python -m repro lint src/``.
+"""
+
+from .baseline import Baseline
+from .config import LintConfig, RuleConfig
+from .engine import Finding, LintEngine, LintResult
+from .reporters import render_json, render_text
+from .rules import all_rules
+
+__all__ = [
+    "Baseline", "Finding", "LintConfig", "LintEngine", "LintResult",
+    "RuleConfig", "all_rules", "render_json", "render_text",
+]

@@ -1,0 +1,85 @@
+"""Committed baseline of grandfathered findings.
+
+A baseline lets the analyzer gate *new* findings in CI while historical
+ones are burned down incrementally. Entries match by **fingerprint** —
+a hash of (rule, path, normalized source line, occurrence index) — so
+they survive unrelated edits that shift line numbers, but expire the
+moment the offending line itself changes.
+
+The file is JSON, sorted, and committed; regenerate with
+``python -m repro lint --update-baseline``.
+"""
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Set, Tuple
+
+#: Schema version of the baseline file.
+BASELINE_VERSION = 1
+
+
+def fingerprint(rule: str, path: str, snippet: str, occurrence: int) -> str:
+    """Stable identity of one finding, independent of line numbers."""
+    payload = "%s|%s|%s|%d" % (rule, path.replace("\\", "/"),
+                               snippet.strip(), occurrence)
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:16]
+
+
+def assign_fingerprints(findings) -> List[str]:
+    """Fingerprints for a finding list, disambiguating duplicates.
+
+    Two findings of the same rule on identical source lines in one file
+    get occurrence indexes 0, 1, ... in line order, keeping the
+    fingerprints distinct and stable.
+    """
+    seen: Dict[Tuple[str, str, str], int] = {}
+    prints = []
+    for finding in findings:
+        key = (finding.rule, finding.path, finding.snippet.strip())
+        occurrence = seen.get(key, 0)
+        seen[key] = occurrence + 1
+        prints.append(fingerprint(finding.rule, finding.path,
+                                  finding.snippet, occurrence))
+    return prints
+
+
+@dataclass
+class Baseline:
+    """The set of grandfathered finding fingerprints."""
+
+    fingerprints: Set[str] = field(default_factory=set)
+
+    def __contains__(self, print_: str) -> bool:
+        return print_ in self.fingerprints
+
+    @classmethod
+    def load(cls, path: str) -> "Baseline":
+        """Read a baseline file; a missing file is an empty baseline."""
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                document = json.load(handle)
+        except FileNotFoundError:
+            return cls()
+        if document.get("version") != BASELINE_VERSION:
+            raise ValueError("unsupported baseline version %r"
+                             % document.get("version"))
+        return cls(fingerprints={entry["fingerprint"]
+                                 for entry in document.get("findings", [])})
+
+    @staticmethod
+    def save(path: str, findings: Iterable) -> None:
+        """Write ``findings`` as the new baseline (sorted, stable)."""
+        findings = list(findings)
+        entries = [
+            {"fingerprint": print_, "rule": finding.rule,
+             "path": finding.path.replace("\\", "/"),
+             "message": finding.message}
+            for finding, print_ in zip(findings,
+                                       assign_fingerprints(findings))
+        ]
+        entries.sort(key=lambda e: (e["path"], e["rule"], e["fingerprint"]))
+        document = {"version": BASELINE_VERSION, "findings": entries}
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(document, handle, indent=2, sort_keys=True)
+            handle.write("\n")

@@ -1,0 +1,208 @@
+"""Lightweight import graph and per-function call summaries.
+
+The metering rules (REP2xx) need more than "does this module import
+``repro.crypto``": a ``repro.drm`` module can escape the metered
+provider *transitively* by calling a helper in a third module that
+itself invokes a primitive. This module builds just enough structure to
+catch that one level of indirection:
+
+* a per-module **import table** mapping local aliases to the
+  (module, symbol) they resolve to, with relative imports resolved
+  against the module's dotted name, and
+* a per-module **call summary**: the set of function names whose bodies
+  invoke a crypto primitive directly.
+
+It is deliberately not a full call-graph — no attribute dataflow, no
+class hierarchy — because the invariant it protects is architectural
+(who may *import* whom) and one level of summaries already makes the
+bypass a deliberate act rather than an accident.
+"""
+
+import ast
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, Optional, Set, Tuple
+
+#: The package whose primitives must stay behind the provider.
+CRYPTO_PACKAGE = "repro.crypto"
+
+#: Crypto modules any layer may import freely (exception types only).
+ALLOWED_CRYPTO_MODULES = frozenset({"repro.crypto.errors"})
+
+#: Data types and size constants that carry no computation: importing
+#: them cannot bypass metering.
+ALLOWED_CRYPTO_NAMES = frozenset({
+    "KemCiphertext", "RSAPrivateKey", "RSAPublicKey", "RSAKeyPair",
+    "DIGEST_SIZE", "BLOCK_SIZE", "KEK_LENGTH", "SEMIBLOCK",
+})
+
+
+@dataclass(frozen=True)
+class ImportedName:
+    """One local alias introduced by an import statement."""
+
+    alias: str                 # the name as visible in the module
+    module: str                # resolved dotted module
+    symbol: Optional[str]      # None for plain module imports
+    line: int
+
+    @property
+    def dotted(self) -> str:
+        """Fully dotted path this alias stands for."""
+        return self.module + "." + self.symbol if self.symbol \
+            else self.module
+
+    @property
+    def is_crypto_primitive(self) -> bool:
+        """Whether using this name executes unmetered crypto."""
+        if not (self.module == CRYPTO_PACKAGE
+                or self.module.startswith(CRYPTO_PACKAGE + ".")):
+            return False
+        if self.module in ALLOWED_CRYPTO_MODULES:
+            return False
+        if self.symbol is not None and self.symbol in ALLOWED_CRYPTO_NAMES:
+            return False
+        return True
+
+
+def resolve_relative(module_name: str, is_package: bool, level: int,
+                     target: Optional[str]) -> str:
+    """Resolve a ``from ..x import y`` module spec to a dotted name."""
+    if level == 0:
+        return target or ""
+    parts = module_name.split(".")
+    if not is_package:
+        parts = parts[:-1]
+    if level > 1:
+        parts = parts[:len(parts) - (level - 1)]
+    if target:
+        parts = parts + target.split(".")
+    return ".".join(parts)
+
+
+def iter_imports(tree: ast.AST, module_name: str,
+                 is_package: bool) -> Iterator[ImportedName]:
+    """All aliases any import statement in ``tree`` introduces."""
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                local = alias.asname or alias.name.split(".")[0]
+                # ``import a.b`` binds ``a``; ``import a.b as c`` binds
+                # the full module to ``c``.
+                module = alias.name if alias.asname else \
+                    alias.name.split(".")[0]
+                yield ImportedName(alias=local, module=module,
+                                   symbol=None, line=node.lineno)
+        elif isinstance(node, ast.ImportFrom):
+            base = resolve_relative(module_name, is_package,
+                                    node.level, node.module)
+            for alias in node.names:
+                if alias.name == "*":
+                    continue
+                yield ImportedName(alias=alias.asname or alias.name,
+                                   module=base, symbol=alias.name,
+                                   line=node.lineno)
+
+
+@dataclass
+class ModuleSummary:
+    """Imports plus the names of functions that touch crypto directly."""
+
+    name: str
+    imports: Dict[str, ImportedName] = field(default_factory=dict)
+    crypto_imports: Tuple[ImportedName, ...] = ()
+    crypto_using_functions: Set[str] = field(default_factory=set)
+
+    def resolve_call(self, node: ast.Call
+                     ) -> Optional[Tuple[str, str]]:
+        """(module, function) a call resolves to via imports, if any."""
+        func = node.func
+        if isinstance(func, ast.Name):
+            imported = self.imports.get(func.id)
+            if imported is not None and imported.symbol is not None:
+                return imported.module, imported.symbol
+        elif isinstance(func, ast.Attribute) \
+                and isinstance(func.value, ast.Name):
+            imported = self.imports.get(func.value.id)
+            if imported is not None and imported.symbol is None:
+                return imported.module, func.attr
+        return None
+
+    def dotted_call_path(self, node: ast.Call) -> Optional[str]:
+        """Fully dotted path of a call target (``datetime.datetime.now``).
+
+        Unrolls the attribute chain and substitutes the root name
+        through the import table, so aliases (``import datetime as dt``)
+        resolve to canonical paths. Returns ``None`` for dynamic
+        targets (calls on call results, subscripts, ...).
+        """
+        parts = []
+        cursor = node.func
+        while isinstance(cursor, ast.Attribute):
+            parts.append(cursor.attr)
+            cursor = cursor.value
+        if not isinstance(cursor, ast.Name):
+            return None
+        imported = self.imports.get(cursor.id)
+        root = imported.dotted if imported is not None else cursor.id
+        return ".".join([root] + list(reversed(parts)))
+
+
+def _call_uses_crypto(node: ast.Call, summary: ModuleSummary) -> bool:
+    func = node.func
+    if isinstance(func, ast.Name):
+        imported = summary.imports.get(func.id)
+        return (imported is not None and imported.symbol is not None
+                and imported.is_crypto_primitive)
+    if isinstance(func, ast.Attribute) and isinstance(func.value, ast.Name):
+        imported = summary.imports.get(func.value.id)
+        return (imported is not None and imported.symbol is None
+                and imported.is_crypto_primitive)
+    return False
+
+
+def summarize_module(name: str, tree: ast.AST,
+                     is_package: bool) -> ModuleSummary:
+    """Build the import table and crypto call summary of one module."""
+    summary = ModuleSummary(name=name)
+    crypto = []
+    for imported in iter_imports(tree, name, is_package):
+        summary.imports[imported.alias] = imported
+        if imported.is_crypto_primitive:
+            crypto.append(imported)
+    summary.crypto_imports = tuple(crypto)
+
+    class _FunctionVisitor(ast.NodeVisitor):
+        def __init__(self):
+            self.stack = ["<module>"]
+
+        def _visit_function(self, node):
+            self.stack.append(node.name)
+            self.generic_visit(node)
+            self.stack.pop()
+
+        visit_FunctionDef = _visit_function
+        visit_AsyncFunctionDef = _visit_function
+
+        def visit_Call(self, node):
+            if _call_uses_crypto(node, summary):
+                summary.crypto_using_functions.add(self.stack[-1])
+            self.generic_visit(node)
+
+    _FunctionVisitor().visit(tree)
+    return summary
+
+
+class ProjectGraph:
+    """Summaries for every scanned module, queried by dotted name."""
+
+    def __init__(self) -> None:
+        self._summaries: Dict[str, ModuleSummary] = {}
+
+    def add(self, summary: ModuleSummary) -> None:
+        self._summaries[summary.name] = summary
+
+    def summary(self, name: str) -> Optional[ModuleSummary]:
+        return self._summaries.get(name)
+
+    def __len__(self) -> int:
+        return len(self._summaries)

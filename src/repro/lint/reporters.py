@@ -1,0 +1,67 @@
+"""Finding reporters: human text and machine JSON.
+
+The JSON document is the CI interface; its shape is pinned by
+``tests/lint/test_reporters.py``::
+
+    {
+      "version": 1,
+      "findings": [{"rule", "path", "line", "column", "message",
+                    "fingerprint"}, ...],
+      "counts": {"REP201": 2, ...},
+      "summary": {"new": 2, "baselined": 0, "suppressed": 1,
+                  "files": 40, "clean": false}
+    }
+"""
+
+from collections import Counter
+from typing import Dict
+
+from .baseline import assign_fingerprints
+from .engine import LintResult
+
+#: Schema version of the JSON report.
+REPORT_VERSION = 1
+
+
+def render_text(result: LintResult) -> str:
+    """Human-readable report: one line per finding plus a summary."""
+    lines = [finding.render() for finding in result.findings]
+    summary = ("%d finding(s) in %d file(s) "
+               "(%d baselined, %d suppressed)"
+               % (len(result.findings), result.files_scanned,
+                  len(result.baselined), len(result.suppressed)))
+    if result.clean:
+        summary = ("clean: 0 new findings in %d file(s) "
+                   "(%d baselined, %d suppressed)"
+                   % (result.files_scanned, len(result.baselined),
+                      len(result.suppressed)))
+    lines.append(summary)
+    return "\n".join(lines)
+
+
+def render_json(result: LintResult) -> Dict:
+    """The machine-readable report dictionary (see module docstring)."""
+    findings = []
+    for finding, print_ in zip(result.findings,
+                               assign_fingerprints(result.findings)):
+        findings.append({
+            "rule": finding.rule,
+            "path": finding.path.replace("\\", "/"),
+            "line": finding.line,
+            "column": finding.column,
+            "message": finding.message,
+            "fingerprint": print_,
+        })
+    counts = Counter(finding.rule for finding in result.findings)
+    return {
+        "version": REPORT_VERSION,
+        "findings": findings,
+        "counts": dict(sorted(counts.items())),
+        "summary": {
+            "new": len(result.findings),
+            "baselined": len(result.baselined),
+            "suppressed": len(result.suppressed),
+            "files": result.files_scanned,
+            "clean": result.clean,
+        },
+    }

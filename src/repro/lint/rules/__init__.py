@@ -1,0 +1,31 @@
+"""Rule registry: every rule family, in id order.
+
+Adding a rule = writing a :class:`~repro.lint.rules.base.Rule` subclass
+in one of the family modules and listing it in that module's ``RULES``
+tuple; the engine, the CLI ``--list-rules`` output, suppression
+validation, and the docs table all derive from this registry.
+"""
+
+from typing import Dict, Tuple, Type
+
+from . import contracts, determinism, metering, secrets
+from .base import RawFinding, Rule
+
+#: All rule classes, ordered by id.
+RULE_CLASSES: Tuple[Type[Rule], ...] = tuple(sorted(
+    determinism.RULES + metering.RULES + secrets.RULES + contracts.RULES,
+    key=lambda rule: rule.id))
+
+
+def all_rules() -> Tuple[Rule, ...]:
+    """Fresh instances of every registered rule."""
+    return tuple(cls() for cls in RULE_CLASSES)
+
+
+def rules_by_id() -> Dict[str, Rule]:
+    """Registered rules keyed by id."""
+    return {rule.id: rule for rule in all_rules()}
+
+
+__all__ = ["RULE_CLASSES", "RawFinding", "Rule", "all_rules",
+           "rules_by_id"]

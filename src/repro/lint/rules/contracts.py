@@ -1,0 +1,103 @@
+"""REP4xx — error contracts.
+
+PR 1 hardened the wire layer behind typed
+:class:`~repro.drm.errors.WireDecodeError` subclasses so the session
+layer can tell retryable corruption from semantic refusal. That
+contract erodes one ``raise ValueError`` at a time; these rules freeze
+it. Bare ``except:`` additionally swallows ``KeyboardInterrupt`` /
+``SystemExit``, and a silent ``except ...: pass`` in protocol code
+converts a fault the session layer should price into silent
+state corruption.
+"""
+
+import ast
+from typing import Iterator
+
+from .base import RawFinding, Rule
+
+#: Builtin exception types a wire-decode path must not raise.
+_BUILTIN_RAISES = frozenset({
+    "Exception", "ValueError", "TypeError", "KeyError", "IndexError",
+    "RuntimeError", "AssertionError",
+})
+
+#: Function-name shapes that identify a wire-decode path.
+_DECODE_NAME_PARTS = ("decode", "parse", "from_bytes", "from_wire",
+                      "unpack")
+
+
+class NoBareExceptRule(Rule):
+    """REP401: no bare ``except:`` anywhere."""
+
+    id = "REP401"
+    title = ("bare except: catches SystemExit/KeyboardInterrupt and "
+             "hides programming errors; name the exception types")
+
+    def check(self, ctx, project) -> Iterator[RawFinding]:
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.ExceptHandler) and node.type is None:
+                yield self.finding(
+                    node, "bare except: — name the exception types "
+                          "this handler is meant to absorb")
+
+
+class NoSilentSwallowRule(Rule):
+    """REP402: no ``except ...: pass`` in protocol code."""
+
+    id = "REP402"
+    title = ("silently swallowed exception in protocol code; handle "
+             "it, re-raise typed, or record the fault")
+    default_scopes = ("repro.drm", "repro.usecases")
+
+    def check(self, ctx, project) -> Iterator[RawFinding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            body = [stmt for stmt in node.body
+                    if not (isinstance(stmt, ast.Expr)
+                            and isinstance(stmt.value, ast.Constant)
+                            and isinstance(stmt.value.value, str))]
+            if body and all(isinstance(stmt, ast.Pass) for stmt in body):
+                yield self.finding(
+                    node, "exception handled with pass — protocol "
+                          "faults must surface or be recorded, never "
+                          "vanish")
+
+
+class TypedWireDecodeErrorRule(Rule):
+    """REP403: wire-decode paths raise typed ``WireDecodeError``."""
+
+    id = "REP403"
+    title = ("wire-decode path raises a builtin exception; the session "
+             "layer needs typed WireDecodeError subclasses to "
+             "classify retryable corruption")
+    default_scopes = ("repro.drm",)
+
+    @staticmethod
+    def _is_decode_function(name: str) -> bool:
+        lowered = name.lower()
+        return any(part in lowered for part in _DECODE_NAME_PARTS)
+
+    def check(self, ctx, project) -> Iterator[RawFinding]:
+        for function in ctx.functions():
+            if not self._is_decode_function(function.name):
+                continue
+            for node in ast.walk(function):
+                if not isinstance(node, ast.Raise) or node.exc is None:
+                    continue
+                exc = node.exc
+                name = None
+                if isinstance(exc, ast.Call) \
+                        and isinstance(exc.func, ast.Name):
+                    name = exc.func.id
+                elif isinstance(exc, ast.Name):
+                    name = exc.id
+                if name in _BUILTIN_RAISES:
+                    yield self.finding(
+                        node, "raise %s in wire-decode path %r; raise "
+                              "a WireDecodeError subclass so the "
+                              "session layer can classify the fault"
+                              % (name, function.name))
+
+
+RULES = (NoBareExceptRule, NoSilentSwallowRule, TypedWireDecodeErrorRule)

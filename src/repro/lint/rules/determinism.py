@@ -1,0 +1,127 @@
+"""REP1xx — determinism of priced and sharded paths.
+
+The fleet engine's contract (``docs/fleet.md``) is that shard merges
+are bit-identical for any worker count, and the cost model's contract
+is that a (use case, seed) pair prices to the same trace every run.
+Both die the moment wall-clock time, OS entropy, an unseeded RNG, or
+set-iteration order leaks into ``repro.usecases`` or ``repro.analysis``.
+"""
+
+from typing import Iterator, Tuple
+
+from .base import RawFinding, Rule
+
+#: Scope shared by the family: the priced/sharded layers.
+_DETERMINISM_SCOPES: Tuple[str, ...] = ("repro.usecases", "repro.analysis")
+
+#: Wall-clock and monotonic-clock reads (canonical dotted paths).
+_FORBIDDEN_CLOCKS = frozenset({
+    "time.time", "time.time_ns", "time.monotonic", "time.monotonic_ns",
+    "time.perf_counter", "time.perf_counter_ns",
+    "datetime.datetime.now", "datetime.datetime.utcnow",
+    "datetime.datetime.today", "datetime.date.today",
+})
+
+#: Entropy sources that bypass seeded RNG plumbing entirely.
+_FORBIDDEN_ENTROPY = frozenset({
+    "os.urandom", "os.getrandom", "uuid.uuid1", "uuid.uuid4",
+    "random.SystemRandom", "secrets.token_bytes", "secrets.token_hex",
+    "secrets.token_urlsafe", "secrets.randbelow", "secrets.choice",
+})
+
+#: Module-level ``random.*`` functions (hidden unseeded global state).
+_FORBIDDEN_GLOBAL_RANDOM = frozenset({
+    "random.random", "random.randint", "random.randrange",
+    "random.choice", "random.choices", "random.shuffle",
+    "random.sample", "random.uniform", "random.getrandbits",
+    "random.gauss", "random.seed",
+})
+
+
+class NoWallClockRule(Rule):
+    """REP101: no wall-clock reads where results must reproduce."""
+
+    id = "REP101"
+    title = ("wall-clock read in a priced/sharded path; use the "
+             "simulation clock or take time as a parameter")
+    default_scopes = _DETERMINISM_SCOPES
+
+    def check(self, ctx, project) -> Iterator[RawFinding]:
+        for node in ctx.calls():
+            dotted = ctx.summary.dotted_call_path(node)
+            if dotted in _FORBIDDEN_CLOCKS:
+                yield self.finding(
+                    node, "call to %s leaks wall-clock time into a "
+                          "deterministic path" % dotted)
+
+
+class NoUnseededRandomnessRule(Rule):
+    """REP102: no OS entropy or unseeded RNGs in deterministic paths."""
+
+    id = "REP102"
+    title = ("unseeded or OS-entropy randomness in a priced/sharded "
+             "path; derive a seeded Random/HmacDrbg instead")
+    default_scopes = _DETERMINISM_SCOPES
+
+    def check(self, ctx, project) -> Iterator[RawFinding]:
+        for node in ctx.calls():
+            dotted = ctx.summary.dotted_call_path(node)
+            if dotted is None:
+                continue
+            if dotted in _FORBIDDEN_ENTROPY:
+                yield self.finding(
+                    node, "call to %s draws OS entropy; runs become "
+                          "unreproducible" % dotted)
+            elif dotted in _FORBIDDEN_GLOBAL_RANDOM:
+                yield self.finding(
+                    node, "call to %s uses the hidden global RNG; pass "
+                          "a seeded random.Random instead" % dotted)
+            elif dotted == "random.Random" and not node.args \
+                    and not node.keywords:
+                yield self.finding(
+                    node, "random.Random() without a seed draws from "
+                          "OS entropy; pass an explicit seed")
+
+
+class NoSetIterationOrderRule(Rule):
+    """REP103: no iteration over sets where order can reach output.
+
+    Set iteration order depends on ``PYTHONHASHSEED`` for strings, so a
+    loop over a set in a priced or sharded path is a latent
+    bit-identity break. Wrapping the set in ``sorted(...)`` normalizes
+    the order and satisfies the rule.
+    """
+
+    id = "REP103"
+    title = ("iteration over a set leaks hash order into a "
+             "deterministic path; wrap it in sorted(...)")
+    default_scopes = _DETERMINISM_SCOPES
+
+    @staticmethod
+    def _is_set_expression(node) -> bool:
+        import ast
+        if isinstance(node, (ast.Set, ast.SetComp)):
+            return True
+        return (isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Name)
+                and node.func.id in ("set", "frozenset"))
+
+    def check(self, ctx, project) -> Iterator[RawFinding]:
+        import ast
+        for node in ast.walk(ctx.tree):
+            iters = []
+            if isinstance(node, (ast.For, ast.AsyncFor)):
+                iters.append(node.iter)
+            elif isinstance(node, (ast.ListComp, ast.SetComp,
+                                   ast.DictComp, ast.GeneratorExp)):
+                iters.extend(gen.iter for gen in node.generators)
+            for iter_node in iters:
+                if self._is_set_expression(iter_node):
+                    yield self.finding(
+                        iter_node, "iterating a set directly; order "
+                                   "depends on PYTHONHASHSEED — use "
+                                   "sorted(...)")
+
+
+RULES = (NoWallClockRule, NoUnseededRandomnessRule,
+         NoSetIterationOrderRule)

@@ -1,0 +1,80 @@
+"""REP2xx — metering completeness of the DRM layer.
+
+The paper's cost model prices the operation trace a protocol run
+leaves behind (``repro.core.meter.MeteredCrypto``). Any crypto a
+``repro.drm`` module performs *outside* the provider is functionally
+correct but invisible to the meter, so Table 1 silently under-counts.
+REP201 catches direct imports of :mod:`repro.crypto` primitives;
+REP202 uses the project import graph's per-function call summaries to
+catch the transitive escape — calling a helper in a third module whose
+body invokes primitives.
+
+Exception types (``repro.crypto.errors``) and pure data types/constants
+(``KemCiphertext``, key classes, size constants) are allowed anywhere:
+importing them executes nothing.
+"""
+
+from typing import Iterator
+
+from ..graph import CRYPTO_PACKAGE
+from .base import RawFinding, Rule
+
+#: The one module sanctioned to wrap primitives: the provider itself.
+_PROVIDER_MODULE = "repro.core.meter"
+
+
+class NoDirectCryptoImportRule(Rule):
+    """REP201: drm modules must not import crypto primitives."""
+
+    id = "REP201"
+    title = ("repro.drm imports a repro.crypto primitive directly; "
+             "route it through the PlainCrypto/MeteredCrypto provider "
+             "so the cost model prices it")
+    default_scopes = ("repro.drm",)
+
+    def check(self, ctx, project) -> Iterator[RawFinding]:
+        for imported in ctx.summary.crypto_imports:
+            what = imported.dotted
+            yield RawFinding(
+                line=imported.line, column=0,
+                message="direct import of %s bypasses the metered "
+                        "crypto provider; hashing/encryption done "
+                        "with it never appears in priced traces"
+                        % what)
+
+
+class NoTransitiveCryptoEscapeRule(Rule):
+    """REP202: drm modules must not reach primitives via a helper."""
+
+    id = "REP202"
+    title = ("repro.drm calls a function in another module that "
+             "invokes crypto primitives directly — a transitive "
+             "metering escape")
+    default_scopes = ("repro.drm",)
+
+    def check(self, ctx, project) -> Iterator[RawFinding]:
+        for node in ctx.calls():
+            resolved = ctx.summary.resolve_call(node)
+            if resolved is None:
+                continue
+            module, function = resolved
+            if module.startswith("repro.drm") \
+                    or module == _PROVIDER_MODULE \
+                    or module == CRYPTO_PACKAGE \
+                    or module.startswith(CRYPTO_PACKAGE + "."):
+                # Intra-layer calls are REP201's problem in the callee;
+                # the provider is the sanctioned wrapper; direct crypto
+                # calls are already REP201 here.
+                continue
+            summary = project.summary(module)
+            if summary is None:
+                continue
+            if function in summary.crypto_using_functions:
+                yield self.finding(
+                    node, "%s.%s invokes repro.crypto primitives "
+                          "directly; calling it from repro.drm "
+                          "escapes the metered provider transitively"
+                          % (module, function))
+
+
+RULES = (NoDirectCryptoImportRule, NoTransitiveCryptoEscapeRule)

@@ -1,0 +1,172 @@
+"""REP3xx — secret hygiene.
+
+An embedded DRM agent's keys (``K_DEV``, KEKs, ``K_MAC``/``K_REK``/
+``K_CEK``) must never reach logs, exception text, or any interpolated
+string — a stack trace in a bug report is a key-extraction channel.
+And inside :mod:`repro.crypto`, tag/digest/padding bytes must be
+compared through :func:`~repro.crypto.encoding.constant_time_equal`;
+a raw ``==`` is an early-exit timing oracle (the discipline
+``docs/static-analysis.md`` cross-references from the paper's
+embedded-implementation setting).
+"""
+
+import ast
+import re
+from typing import Iterator
+
+from .base import RawFinding, Rule
+
+#: Identifier segments that mark a value as key material.
+_SECRET_SEGMENTS = re.compile(
+    r"(?:^|_)(?:key|keys|kek|kdev|kmac|krek|kcek|secret|secrets|"
+    r"password|passwd|token|private)(?:_|$)")
+
+#: Identifiers that match the segment regex but are not secret values.
+_SECRET_EXCEPTIONS = re.compile(
+    r"public|_id$|_ids$|_name$|_label$|keyword")
+
+#: Logger-ish receivers for REP301's log-call check.
+_LOGGER_NAMES = frozenset({"log", "logger", "logging"})
+_LOG_METHODS = frozenset({"debug", "info", "warning", "warn", "error",
+                          "exception", "critical", "log"})
+
+#: Calls that evidently return bytes (digest/MAC/codec outputs).
+_BYTES_RETURNING = frozenset({
+    "sha1", "hmac_sha1", "mgf1", "kdf2", "wrap", "unwrap", "bytes",
+    "bytearray", "encrypt_block", "decrypt_block", "i2osp",
+})
+
+#: Names that conventionally hold digest/tag/IV byte strings.
+_BYTES_NAMES = re.compile(
+    r"(?:^|_)(?:iv|icv|tag|mac|digest|hash|salt|pad|padding|mask|"
+    r"signature|sig|key|kek)(?:_|$)")
+
+
+def _is_secret_name(identifier: str) -> bool:
+    lowered = identifier.lower()
+    return bool(_SECRET_SEGMENTS.search(lowered)) \
+        and not _SECRET_EXCEPTIONS.search(lowered)
+
+
+#: Calls whose result reveals only metadata about their argument.
+_METADATA_CALLS = frozenset({"len", "type", "id"})
+
+
+def _walk_skipping_attributes(node: ast.AST):
+    """``ast.walk`` variant skipping attribute values and metadata calls.
+
+    Attribute accesses (``key.bit_length``, ``private_key.modulus_octets``)
+    are deliberately skipped: interpolating a *property of* a key object
+    is routine (sizes, ids); interpolating the name itself is the leak.
+    Likewise ``len(key)``/``type(key)`` interpolate metadata, not bytes.
+    """
+    stack = [node]
+    while stack:
+        current = stack.pop()
+        yield current
+        if isinstance(current, ast.Call) \
+                and isinstance(current.func, ast.Name) \
+                and current.func.id in _METADATA_CALLS:
+            continue
+        for child in ast.iter_child_nodes(current):
+            if isinstance(current, ast.Attribute) \
+                    and child is current.value:
+                continue
+            stack.append(child)
+
+
+class NoSecretInterpolationRule(Rule):
+    """REP301: key material must not reach strings, logs, exceptions."""
+
+    id = "REP301"
+    title = ("secret-named variable interpolated into a string, log "
+             "call, or exception message — a key-extraction channel")
+
+    def _scan_expression(self, expression, context):
+        for child in _walk_skipping_attributes(expression):
+            if isinstance(child, ast.Name) and _is_secret_name(child.id):
+                yield self.finding(
+                    child, "secret-named variable %r %s" % (child.id,
+                                                            context))
+
+    def check(self, ctx, project) -> Iterator[RawFinding]:
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.JoinedStr):
+                for value in node.values:
+                    if isinstance(value, ast.FormattedValue):
+                        yield from self._scan_expression(
+                            value.value,
+                            "interpolated into an f-string")
+            elif isinstance(node, ast.Raise) and node.exc is not None:
+                for arg in getattr(node.exc, "args", []) or []:
+                    yield from self._scan_expression(
+                        arg, "interpolated into an exception message")
+            elif isinstance(node, ast.Call) \
+                    and isinstance(node.func, ast.Attribute) \
+                    and node.func.attr in _LOG_METHODS \
+                    and isinstance(node.func.value, ast.Name) \
+                    and node.func.value.id in _LOGGER_NAMES:
+                for arg in node.args:
+                    yield from self._scan_expression(
+                        arg, "passed to a log call")
+
+
+class ConstantTimeCompareRule(Rule):
+    """REP302: no ``==``/``!=`` on byte strings inside repro.crypto."""
+
+    id = "REP302"
+    title = ("variable-time ==/!= on digest/tag/padding bytes in "
+             "repro.crypto; use constant_time_equal")
+    default_scopes = ("repro.crypto",)
+
+    @staticmethod
+    def _excluded(node) -> bool:
+        """Operand shapes that are evidently not byte-string values."""
+        if isinstance(node, ast.Constant) \
+                and not isinstance(node.value, bytes):
+            return True
+        if isinstance(node, ast.Call) \
+                and isinstance(node.func, ast.Name) \
+                and node.func.id == "len":
+            return True
+        if isinstance(node, ast.BinOp):
+            return True
+        if isinstance(node, ast.Attribute):
+            return True
+        return False
+
+    @staticmethod
+    def _bytes_evidence(node) -> bool:
+        """Operand shapes that evidently produce byte strings."""
+        if isinstance(node, ast.Constant) \
+                and isinstance(node.value, bytes):
+            return True
+        if isinstance(node, ast.Subscript) \
+                and isinstance(node.slice, ast.Slice):
+            return True
+        if isinstance(node, ast.Call):
+            func = node.func
+            name = func.id if isinstance(func, ast.Name) else \
+                func.attr if isinstance(func, ast.Attribute) else None
+            return name in _BYTES_RETURNING
+        if isinstance(node, ast.Name):
+            return bool(_BYTES_NAMES.search(node.id.lower()))
+        return False
+
+    def check(self, ctx, project) -> Iterator[RawFinding]:
+        for scope_node, compare in ctx.compares_with_function():
+            if scope_node == "constant_time_equal":
+                continue
+            if len(compare.ops) != 1 or not isinstance(
+                    compare.ops[0], (ast.Eq, ast.NotEq)):
+                continue
+            operands = (compare.left, compare.comparators[0])
+            if any(self._excluded(op) for op in operands):
+                continue
+            if any(self._bytes_evidence(op) for op in operands):
+                yield self.finding(
+                    compare, "==/!= on byte strings is an early-exit "
+                             "timing oracle; use constant_time_equal")
+
+
+RULES = (NoSecretInterpolationRule, ConstantTimeCompareRule)

@@ -1,0 +1,60 @@
+"""Reporter output: the JSON schema CI parses and the text format."""
+
+import json
+import textwrap
+
+from repro.lint import LintEngine, render_json, render_text
+
+
+def run_on(tmp_path, source):
+    target = tmp_path / "repro" / "usecases" / "w.py"
+    target.parent.mkdir(parents=True, exist_ok=True)
+    target.write_text(textwrap.dedent(source))
+    return LintEngine().run([str(tmp_path)])
+
+
+def test_json_report_schema(tmp_path):
+    result = run_on(tmp_path, """
+        import time
+        def stamp():
+            return time.time()
+        """)
+    document = render_json(result)
+    # Pin the whole shape: CI and external tooling parse this.
+    assert set(document) == {"version", "findings", "counts", "summary"}
+    assert document["version"] == 1
+    finding = document["findings"][0]
+    assert set(finding) == {"rule", "path", "line", "column", "message",
+                            "fingerprint"}
+    assert finding["rule"] == "REP101"
+    assert finding["line"] == 4
+    assert document["counts"] == {"REP101": 1}
+    assert document["summary"] == {
+        "new": 1, "baselined": 0, "suppressed": 0,
+        "files": result.files_scanned, "clean": False,
+    }
+    json.dumps(document)  # must be serializable as-is
+
+
+def test_json_report_clean_summary(tmp_path):
+    result = run_on(tmp_path, "x = 1\n")
+    document = render_json(result)
+    assert document["findings"] == []
+    assert document["summary"]["clean"] is True
+
+
+def test_text_report_lists_findings_and_summary(tmp_path):
+    result = run_on(tmp_path, """
+        import time
+        def stamp():
+            return time.time()
+        """)
+    text = render_text(result)
+    assert "REP101" in text
+    assert "w.py:4:" in text
+    assert "1 finding(s)" in text
+
+
+def test_text_report_clean(tmp_path):
+    result = run_on(tmp_path, "x = 1\n")
+    assert render_text(result).startswith("clean: 0 new findings")

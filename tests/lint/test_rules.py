@@ -1,0 +1,270 @@
+"""Per-rule fixture snippets: positive, negative, and suppressed.
+
+Each case writes a small module into a fixture tree whose layout
+mirrors the scopes the rules default to (``repro/usecases``,
+``repro/drm``, ``repro/crypto``), runs the engine over the tree, and
+asserts exactly which rule ids fire.
+"""
+
+import textwrap
+
+from repro.lint import LintEngine
+
+
+def lint_tree(tmp_path, files):
+    """Write ``{relpath: source}`` under tmp_path and lint the tree."""
+    for relpath, source in files.items():
+        target = tmp_path / relpath
+        target.parent.mkdir(parents=True, exist_ok=True)
+        target.write_text(textwrap.dedent(source))
+    return LintEngine().run([str(tmp_path)])
+
+
+def rule_ids(result):
+    return sorted(finding.rule for finding in result.findings)
+
+
+# -- REP1xx determinism ------------------------------------------------------
+
+def test_rep101_flags_wall_clock_in_usecases(tmp_path):
+    result = lint_tree(tmp_path, {"repro/usecases/w.py": """
+        import time
+        def arrival():
+            return time.time()
+        """})
+    assert rule_ids(result) == ["REP101"]
+
+
+def test_rep101_flags_datetime_now_through_alias(tmp_path):
+    result = lint_tree(tmp_path, {"repro/analysis/a.py": """
+        from datetime import datetime as dt
+        def stamp():
+            return dt.now()
+        """})
+    assert rule_ids(result) == ["REP101"]
+
+
+def test_rep101_ignores_wall_clock_outside_scope(tmp_path):
+    result = lint_tree(tmp_path, {"repro/drm/clockish.py": """
+        import time
+        def now():
+            return time.time()
+        """})
+    assert "REP101" not in rule_ids(result)
+
+
+def test_rep102_flags_os_urandom_and_global_random(tmp_path):
+    result = lint_tree(tmp_path, {"repro/usecases/r.py": """
+        import os
+        import random
+        def draw():
+            return os.urandom(8), random.random()
+        """})
+    assert rule_ids(result) == ["REP102", "REP102"]
+
+
+def test_rep102_flags_unseeded_random_instance_only(tmp_path):
+    result = lint_tree(tmp_path, {"repro/usecases/r.py": """
+        import random
+        bad = random.Random()
+        good = random.Random(1234)
+        """})
+    assert rule_ids(result) == ["REP102"]
+
+
+def test_rep103_flags_set_iteration_but_not_sorted(tmp_path):
+    result = lint_tree(tmp_path, {"repro/analysis/s.py": """
+        def order(names):
+            bad = [n for n in set(names)]
+            good = [n for n in sorted(set(names))]
+            return bad, good
+        """})
+    assert rule_ids(result) == ["REP103"]
+
+
+# -- REP2xx metering completeness --------------------------------------------
+
+def test_rep201_flags_primitive_import_allows_types(tmp_path):
+    result = lint_tree(tmp_path, {"repro/drm/m.py": """
+        from ..crypto.sha1 import sha1
+        from ..crypto.errors import SignatureError
+        from ..crypto.kem import KemCiphertext
+        def digest(data):
+            return sha1(data)
+        """})
+    assert rule_ids(result) == ["REP201"]
+
+
+def test_rep201_flags_function_level_import(tmp_path):
+    result = lint_tree(tmp_path, {"repro/drm/m.py": """
+        def strip(data):
+            from ..crypto.padding import unpad
+            return unpad(data)
+        """})
+    assert rule_ids(result) == ["REP201"]
+
+
+def test_rep202_flags_transitive_escape(tmp_path):
+    result = lint_tree(tmp_path, {
+        "repro/helpers/digesting.py": """
+            from repro.crypto.sha1 import sha1
+            def quick_hash(data):
+                return sha1(data)
+            def harmless(data):
+                return len(data)
+            """,
+        "repro/drm/m.py": """
+            from ..helpers.digesting import quick_hash, harmless
+            def fingerprint(data):
+                return quick_hash(data)
+            def size(data):
+                return harmless(data)
+            """,
+    })
+    # digesting.py is outside REP201's drm scope; the drm-side call to
+    # quick_hash is the transitive escape, harmless() stays legal.
+    assert rule_ids(result) == ["REP202"]
+
+
+def test_rep202_allows_calls_through_the_provider(tmp_path):
+    result = lint_tree(tmp_path, {
+        "repro/core/meter.py": """
+            from repro.crypto.sha1 import sha1
+            def provider_sha1(data):
+                return sha1(data)
+            """,
+        "repro/drm/m.py": """
+            from ..core.meter import provider_sha1
+            def digest(data):
+                return provider_sha1(data)
+            """,
+    })
+    assert rule_ids(result) == []
+
+
+# -- REP3xx secret hygiene ---------------------------------------------------
+
+def test_rep301_flags_secret_in_fstring_and_exception(tmp_path):
+    result = lint_tree(tmp_path, {"repro/drm/k.py": """
+        def fail(kdev, reason):
+            detail = f"kdev={kdev}"
+            raise RuntimeError("bad key material %r" % kdev)
+        """})
+    assert rule_ids(result) == ["REP301", "REP301"]
+
+
+def test_rep301_allows_metadata_and_public_names(tmp_path):
+    result = lint_tree(tmp_path, {"repro/drm/k.py": """
+        def describe(key, public_key, key_id):
+            raise ValueError(
+                "key of %d octets, id %s, modulus %d"
+                % (len(key), key_id, public_key.modulus_octets))
+        """})
+    assert rule_ids(result) == []
+
+
+def test_rep302_flags_bytes_compare_in_crypto(tmp_path):
+    result = lint_tree(tmp_path, {"repro/crypto/c.py": """
+        from .sha1 import sha1
+        def verify(data, tag):
+            return sha1(data) == tag
+        """})
+    assert rule_ids(result) == ["REP302"]
+
+
+def test_rep302_allows_length_checks_and_constant_time_equal(tmp_path):
+    result = lint_tree(tmp_path, {"repro/crypto/c.py": """
+        def constant_time_equal(a, b):
+            if len(a) != len(b):
+                return False
+            diff = 0
+            for x, y in zip(a, b):
+                diff |= x ^ y
+            return diff == 0
+        def shape_ok(blob):
+            return len(blob) % 16 == 0 and blob[-1] != 0xBC
+        """})
+    assert rule_ids(result) == []
+
+
+# -- REP4xx error contracts --------------------------------------------------
+
+def test_rep401_flags_bare_except_everywhere(tmp_path):
+    result = lint_tree(tmp_path, {"anywhere.py": """
+        def swallow():
+            try:
+                risky()
+            except:
+                return None
+        """})
+    assert rule_ids(result) == ["REP401"]
+
+
+def test_rep402_flags_silent_pass_in_protocol_code(tmp_path):
+    result = lint_tree(tmp_path, {"repro/drm/p.py": """
+        def attempt():
+            try:
+                risky()
+            except ValueError:
+                pass
+        """})
+    assert rule_ids(result) == ["REP402"]
+
+
+def test_rep402_allows_handled_exceptions(tmp_path):
+    result = lint_tree(tmp_path, {"repro/drm/p.py": """
+        def attempt(log):
+            try:
+                risky()
+            except ValueError as error:
+                log.append(error)
+        """})
+    assert rule_ids(result) == []
+
+
+def test_rep403_flags_builtin_raise_in_decode_path(tmp_path):
+    result = lint_tree(tmp_path, {"repro/drm/w.py": """
+        def decode_header(blob):
+            if not blob:
+                raise ValueError("empty header")
+            return blob[0]
+        def encode_header(value):
+            raise TypeError("unencodable")
+        """})
+    # encode paths are free to raise TypeError; decode paths are not.
+    assert rule_ids(result) == ["REP403"]
+
+
+# -- suppressions ------------------------------------------------------------
+
+def test_justified_suppression_silences_finding(tmp_path):
+    result = lint_tree(tmp_path, {"repro/drm/m.py": """
+        # repro: allow[REP201] -- legacy path, tracked in issue 42
+        from ..crypto.sha1 import sha1
+        """})
+    assert rule_ids(result) == []
+    assert len(result.suppressed) == 1
+
+
+def test_unjustified_suppression_does_not_suppress(tmp_path):
+    result = lint_tree(tmp_path, {"repro/drm/m.py": """
+        # repro: allow[REP201]
+        from ..crypto.sha1 import sha1
+        """})
+    # The finding survives AND the defective suppression is reported.
+    assert rule_ids(result) == ["REP002", "REP201"]
+
+
+def test_unknown_rule_suppression_is_reported(tmp_path):
+    result = lint_tree(tmp_path, {"repro/drm/m.py": """
+        x = 1  # repro: allow[REP999] -- no such rule
+        """})
+    assert rule_ids(result) == ["REP001"]
+
+
+def test_docstring_mention_of_allow_syntax_is_not_a_suppression(tmp_path):
+    result = lint_tree(tmp_path, {"repro/drm/m.py": '''
+        """Docs: use # repro: allow[REP201] to suppress."""
+        from ..crypto.sha1 import sha1
+        '''})
+    assert rule_ids(result) == ["REP201"]
