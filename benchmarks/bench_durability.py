@@ -1,0 +1,122 @@
+"""Durability pricing: journal overhead and recovery-replay scaling.
+
+Two things are measured here:
+
+* the cost of the *analysis* — the volatile-vs-journaled calibration
+  pair plus the metered reboot replay behind
+  :func:`repro.analysis.durability.generate` (512-bit keys keep the
+  host cost in milliseconds), and
+* the cost of the *simulation* — one journaled protocol run and one
+  recovery replay over a long journal, timed at the storage layer.
+
+Run directly (``python benchmarks/bench_durability.py``) it prints the
+durability tables and checks the key properties: journal overhead is a
+strictly positive but sub-baseline cost in every phase, and projected
+recovery time is monotonically non-decreasing in journal length.
+"""
+
+import copy
+
+import pytest
+
+from repro.analysis import durability
+from repro.core.meter import PlainCrypto
+from repro.store import TransactionalStorage
+from repro.usecases.durability import measure_durability
+from repro.usecases.world import DRMWorld
+
+BITS = 512
+SEED = "bench-durability"
+JOURNAL_LENGTHS = (8, 64, 512, 4096)
+
+#: Journal records for the storage-layer recovery benchmark.
+REPLAY_RECORDS = 256
+
+
+@pytest.fixture(scope="module")
+def pristine_durable():
+    return DRMWorld.create(seed=SEED, rsa_bits=BITS, durable=True)
+
+
+def _loaded_flash():
+    storage = TransactionalStorage(PlainCrypto(), b"\x42" * 16)
+    for index in range(REPLAY_RECORDS // 2):  # op + commit per txn
+        storage.remember(("ro-%d" % index, "nonce"))
+    return storage.journal.flash
+
+
+def bench_durability_sweep(benchmark, print_once):
+    result = durability.generate(seed=SEED,
+                                 journal_lengths=JOURNAL_LENGTHS,
+                                 rsa_bits=BITS)
+    print_once("durability", result.render())
+    benchmark(durability.generate, seed=SEED,
+              journal_lengths=JOURNAL_LENGTHS, rsa_bits=BITS)
+
+
+def bench_journaled_registration(benchmark, pristine_durable):
+    def run():
+        world = copy.deepcopy(pristine_durable)
+        world.agent.register(world.ri)
+        assert len(world.agent.storage.journal.flash) > 0
+    benchmark(run)
+
+
+def bench_recovery_replay(benchmark):
+    flash = _loaded_flash()
+    crypto = PlainCrypto()
+
+    def run():
+        recovered, report = TransactionalStorage.recover(
+            crypto, b"\x42" * 16, flash)
+        assert report.transactions_applied == REPLAY_RECORDS // 2
+    benchmark(run)
+
+
+def check_properties(result):
+    """Overhead positive yet below baseline; replay monotone in length."""
+    failures = []
+    for overhead in result.overheads:
+        if not 0 < overhead.overhead_cycles < overhead.baseline_cycles:
+            failures.append(
+                "%s %s overhead %d outside (0, baseline %d)"
+                % (overhead.architecture, overhead.phase,
+                   overhead.overhead_cycles, overhead.baseline_cycles))
+    by_arch = {}
+    for projection in result.projections:
+        by_arch.setdefault(projection.architecture, []).append(
+            (projection.records, projection.cycles))
+    for architecture, pairs in by_arch.items():
+        ordered = [cycles for _, cycles in sorted(pairs)]
+        if any(b < a for a, b in zip(ordered, ordered[1:])):
+            failures.append("%s replay cost not monotone: %r"
+                            % (architecture, ordered))
+    return failures
+
+
+def test_durability_properties():
+    result = durability.generate(seed=SEED,
+                                 journal_lengths=JOURNAL_LENGTHS,
+                                 rsa_bits=BITS)
+    assert not check_properties(result)
+
+
+def main() -> int:
+    result = durability.generate(seed=SEED,
+                                 journal_lengths=JOURNAL_LENGTHS,
+                                 rsa_bits=BITS)
+    print(result.render())
+    measurement = measure_durability(SEED, rsa_bits=BITS)
+    print("\nrecovery replayed %d transactions over %d records"
+          % (measurement.recovery_transactions_applied,
+             measurement.templates.recovery_records))
+    failures = check_properties(result)
+    for failure in failures:
+        print("FAIL: " + failure)
+    print("durability properties %s"
+          % ("FAILED" if failures else "PASSED"))
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -9,15 +9,15 @@
 * :mod:`~repro.analysis.formatting` — ASCII table/chart rendering
 """
 
-from . import (ablations, claims, figure5, figure6, figure7, fleet,
-               messages, report, table1)
+from . import (ablations, claims, durability, figure5, figure6, figure7,
+               fleet, messages, report, table1)
 from .common import DEFAULT_SEED, music_trace, ringtone_trace
 from .formatting import (deviation_pct, format_log_bars, format_ms,
                          format_stacked_shares, format_table)
 
 __all__ = [
-    "ablations", "claims", "figure5", "figure6", "figure7", "fleet",
-    "messages", "report", "table1",
+    "ablations", "claims", "durability", "figure5", "figure6",
+    "figure7", "fleet", "messages", "report", "table1",
     "DEFAULT_SEED", "music_trace", "ringtone_trace", "deviation_pct",
     "format_log_bars", "format_ms", "format_stacked_shares",
     "format_table",

@@ -76,6 +76,11 @@ class FleetAnalysis:
              % (octets.total, round(octets.mean))),
             ("content accesses served", str(acc.accesses)),
         ]
+        if config.crash_rate > 0.0:
+            ri_rows.append(
+                ("power-loss recoveries",
+                 "%d devices, %d journal records replayed"
+                 % (acc.recoveries, acc.recovery_records)))
         ri_side = format_table(
             ("RI-side metric", "value"), ri_rows,
             title="Rights Issuer load")

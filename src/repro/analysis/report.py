@@ -7,8 +7,8 @@ the in-text claims, message sizes — into a single Markdown document, and
 
 from dataclasses import dataclass
 
-from . import (claims, figure5, figure6, figure7, fleet, messages,
-               resilience, table1)
+from . import (claims, durability, figure5, figure6, figure7, fleet,
+               messages, resilience, table1)
 from .common import DEFAULT_SEED
 from .formatting import deviation_pct
 
@@ -74,6 +74,10 @@ def generate(seed: str = DEFAULT_SEED) -> ReproductionReport:
     resilient = resilience.generate(seed)
     sections.append("## Retry overhead under loss\n\n```\n%s\n```"
                     % resilient.render())
+
+    durable = durability.generate(seed)
+    sections.append("## Durability overhead and recovery\n\n```\n%s\n```"
+                    % durable.render())
 
     population = fleet.generate(seed)
     sections.append("## Fleet-scale workload\n\n```\n%s\n```"

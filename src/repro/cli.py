@@ -11,6 +11,7 @@ Commands:
 * ``battery`` — battery-life impact of a workload per architecture.
 * ``concurrency`` — CPU-busy vs wall-clock under macro offload.
 * ``resilience`` — expected retry overhead on a lossy bearer.
+* ``durability`` — write-ahead journal overhead and recovery cost.
 * ``fleet`` — simulate a large device population against one RI.
 * ``report`` — write the full paper-vs-measured Markdown report.
 * ``selftest`` — run the cryptographic known-answer self-tests.
@@ -21,8 +22,8 @@ import argparse
 import sys
 from typing import List, Optional
 
-from .analysis import (claims, figure5, figure6, figure7, fleet, report,
-                       resilience, table1)
+from .analysis import (claims, durability, figure5, figure6, figure7,
+                       fleet, report, resilience, table1)
 from .analysis.common import DEFAULT_SEED
 from .analysis.formatting import format_ms, format_table
 from .core.architecture import PAPER_PROFILES
@@ -190,6 +191,20 @@ def _command_resilience(args: argparse.Namespace) -> int:
     return 0
 
 
+def _command_durability(args: argparse.Namespace) -> int:
+    try:
+        journal_lengths = tuple(int(part)
+                                for part in args.journal_lengths.split(","))
+        result = durability.generate(seed=args.seed,
+                                     journal_lengths=journal_lengths,
+                                     rsa_bits=args.rsa_bits)
+    except ValueError as error:
+        print("error: %s" % error, file=sys.stderr)
+        return 2
+    print(result.render())
+    return 0
+
+
 def _command_fleet(args: argparse.Namespace) -> int:
     try:
         analysis = fleet.generate(
@@ -197,7 +212,8 @@ def _command_fleet(args: argparse.Namespace) -> int:
             arrival_model=args.arrival, window_seconds=args.window,
             lossy_fraction=args.lossy_fraction,
             loss_rate=args.loss_rate, shard_size=args.shard_size,
-            rsa_bits=args.rsa_bits)
+            rsa_bits=args.rsa_bits, journaled=args.journaled,
+            crash_rate=args.crash_rate)
     except ValueError as error:
         print("error: %s" % error, file=sys.stderr)
         return 2
@@ -284,6 +300,19 @@ def build_parser() -> argparse.ArgumentParser:
                      default=resilience.DEFAULT_MAX_ATTEMPTS)
     sub.set_defaults(handler=_command_resilience)
 
+    sub = subparsers.add_parser("durability",
+                                help="write-ahead journal overhead and "
+                                     "power-loss recovery cost")
+    sub.add_argument("--seed", default=DEFAULT_SEED)
+    sub.add_argument("--journal-lengths",
+                     default=",".join(str(n) for n in
+                                      durability.DEFAULT_JOURNAL_LENGTHS),
+                     help="comma-separated journal lengths (records) "
+                          "for the recovery projection")
+    sub.add_argument("--rsa-bits", type=int, default=1024,
+                     help="modulus size for the calibration run")
+    sub.set_defaults(handler=_command_durability)
+
     sub = subparsers.add_parser("fleet",
                                 help="simulate a large device "
                                      "population against one RI")
@@ -308,6 +337,12 @@ def build_parser() -> argparse.ArgumentParser:
                           "independent)")
     sub.add_argument("--rsa-bits", type=int, default=1024,
                      help="modulus size for the calibration run")
+    sub.add_argument("--journaled", action="store_true",
+                     help="price power-loss-atomic (journaled) storage "
+                          "on every device")
+    sub.add_argument("--crash-rate", type=float, default=0.0,
+                     help="per-device power-loss probability (requires "
+                          "--journaled)")
     sub.set_defaults(handler=_command_fleet)
 
     sub = subparsers.add_parser("selftest",

@@ -45,6 +45,9 @@ from .roap.messages import (DeviceHello, JoinDomainRequest,
 from .roap.triggers import RoapTrigger, TriggerType
 from .storage import (DeviceStorage, DomainContext, RIContext,
                       SecureStorage)
+from ..store.crash import StoreError
+from ..store.recovery import RecoveryReport
+from ..store.transactional import TransactionalStorage
 
 #: Device key length (128-bit AES key in secure storage).
 KDEV_LENGTH = 16
@@ -92,7 +95,10 @@ class DRMAgent:
                  clock: SimulationClock,
                  verify_dcf_on_install: bool = False,
                  kdev_optimization: bool = True,
-                 clock_skew_seconds: int = 0) -> None:
+                 clock_skew_seconds: int = 0,
+                 durable: bool = False,
+                 storage_flash=None,
+                 storage_injector=None) -> None:
         self.device_id = device_id
         self.certificate = certificate
         self.trust_anchors = list(trust_anchors)
@@ -105,7 +111,32 @@ class DRMAgent:
             device_private_key=keypair,
             kdev=crypto.random_bytes(KDEV_LENGTH),
         )
-        self.storage = DeviceStorage()
+        if durable or storage_flash is not None \
+                or storage_injector is not None:
+            # Journaled flash-backed storage: every record HMAC runs
+            # through this agent's (possibly metered) crypto provider.
+            # Opt-in, so the paper-baseline cost traces stay untouched.
+            self.storage = TransactionalStorage(
+                crypto, self.secure.kdev, flash=storage_flash,
+                injector=storage_injector)
+        else:
+            self.storage = DeviceStorage()
+
+    def recover_storage(self) -> RecoveryReport:
+        """Rebuild durable storage from its flash region after power loss.
+
+        Models the reboot after a crash: RAM state is discarded and the
+        journal's committed transactions are replayed onto a fresh
+        storage (the replay's HMAC checks are metered). Only meaningful
+        for a ``durable`` agent.
+        """
+        if not isinstance(self.storage, TransactionalStorage):
+            raise StoreError(
+                "recover_storage() needs durable journaled storage"
+            )
+        self.storage, report = TransactionalStorage.recover(
+            self.crypto, self.secure.kdev, self.storage.journal.flash)
+        return report
 
     def drm_time(self) -> int:
         """The device's DRM Time: the secure clock plus its drift.
@@ -332,10 +363,16 @@ class DRMAgent:
                     kem_ciphertext=protected_ro.kem_ciphertext)
             evaluator = RightsEvaluator(ro.rights)
             installed.state = evaluator.initial_state()
-            self.storage.store_ro(installed)
-            for item in dcfs:
-                self.storage.store_dcf(item)
-            self.storage.remember(ro.guid)
+            # One transaction: the installed RO, its DCFs and the
+            # replay-cache entry land together or not at all. An
+            # exception (or, on durable storage, a power loss) between
+            # store_ro and remember can no longer leave an installed RO
+            # whose re-install would still pass the replay check.
+            with self.storage.transaction():
+                self.storage.store_ro(installed)
+                for item in dcfs:
+                    self.storage.store_dcf(item)
+                self.storage.remember(ro.guid)
             return installed
 
     def _recover_key_material(
@@ -416,8 +453,12 @@ class DRMAgent:
                                                 dcf.encrypted_data,
                                                 label="content-decrypt")
 
-            evaluator.consume(permission, installed.state,
-                              self.drm_time())
+            # Commit the use against a snapshot: the count decrement
+            # and the first-use timestamp replace the stored state as
+            # one object, so no half-applied decrement can persist.
+            state = installed.state.snapshot()
+            evaluator.consume(permission, state, self.drm_time())
+            self.storage.set_ro_state(installed.ro_id, state)
             return ConsumptionResult(
                 content_id=content_id, ro_id=installed.ro_id,
                 clear_content=clear, permission=permission,
@@ -461,8 +502,9 @@ class DRMAgent:
             self._verify_dcf_hash(asset.dcf_hash, dcf)
             kcek = self.crypto.aes_unwrap(krek, asset.wrapped_kcek,
                                           label="kcek-unwrap")
-            evaluator.consume(permission, installed.state,
-                              self.drm_time())
+            state = installed.state.snapshot()
+            evaluator.consume(permission, state, self.drm_time())
+            self.storage.set_ro_state(installed.ro_id, state)
 
         def stream():
             ciphertext = dcf.encrypted_data
@@ -534,12 +576,15 @@ class DRMAgent:
             clear = self.crypto.aes_cbc_decrypt(kcek, dcf.iv,
                                                 dcf.encrypted_data,
                                                 label="content-decrypt")
-            evaluator.consume(PermissionType.EXPORT, installed.state,
+            state = installed.state.snapshot()
+            evaluator.consume(PermissionType.EXPORT, state,
                               self.drm_time())
             if mode is ExportMode.MOVE:
                 # Surrender local rights: the RO leaves this device and
                 # its replay-cache entry keeps it from coming back.
-                del self.storage.installed_ros[installed.ro_id]
+                self.storage.remove_ro(installed.ro_id)
+            else:
+                self.storage.set_ro_state(installed.ro_id, state)
             return ExportResult(
                 content_id=content_id, target_system=target_system,
                 mode=mode, clear_content=clear,

@@ -11,14 +11,16 @@ are stored securely. The model splits storage in two:
   contexts are safe here because everything sensitive is wrapped.
 """
 
+from contextlib import contextmanager
 from dataclasses import dataclass, field
-from typing import Dict, Optional
+from typing import Dict, Iterator, List, Optional, Tuple
 
 from ..crypto.rsa import RSAPrivateKey
 from .certificates import Certificate
 from .dcf import DCF
 from .errors import (ContextExpiredError, NotRegisteredError,
                      UnknownContentError)
+from .rel import RightsState
 from .ro import InstalledRightsObject
 
 
@@ -68,6 +70,17 @@ class DeviceStorage:
     ``replay_cache`` records the GUIDs of every RO ever installed, so a
     stateful RO cannot be re-installed to reset its constraint state
     (the standard's RO replay protection).
+
+    All mutators route through :meth:`transaction`: inside a
+    ``with storage.transaction():`` block they are buffered and applied
+    together at exit, so an exception between two related mutations
+    (e.g. :meth:`store_ro` and :meth:`remember`) can never leave the
+    pair half-applied — the replay guard and the installed RO appear
+    atomically or not at all. Outside a transaction each mutator applies
+    immediately, preserving the historical direct-call behavior.
+    :class:`~repro.store.transactional.TransactionalStorage` extends the
+    same hooks with a write-ahead journal so the atomicity also holds
+    across power loss.
     """
 
     dcfs: Dict[str, DCF] = field(default_factory=dict)
@@ -76,10 +89,53 @@ class DeviceStorage:
     ri_contexts: Dict[str, RIContext] = field(default_factory=dict)
     domain_contexts: Dict[str, DomainContext] = field(default_factory=dict)
     replay_cache: set = field(default_factory=set)
+    _txn: Optional[List[Tuple[str, tuple]]] = field(
+        default=None, init=False, repr=False, compare=False)
+
+    # -- transaction machinery ---------------------------------------------
+    @contextmanager
+    def transaction(self) -> Iterator["DeviceStorage"]:
+        """All-or-nothing mutation scope (reentrant: inner blocks join).
+
+        Mutations inside the block are deferred; the commit point is the
+        block's successful exit. An exception unwinds with no mutation
+        applied. Reads inside a transaction see the pre-transaction
+        state — callers must not read their own uncommitted writes.
+        """
+        if self._txn is not None:
+            yield self
+            return
+        self._begin()
+        self._txn = []
+        try:
+            yield self
+        except BaseException:
+            self._txn = None
+            raise
+        ops, self._txn = self._txn, None
+        if ops:
+            self._precommit()
+        for op, args in ops:
+            getattr(self, "_do_" + op)(*args)
+
+    def _begin(self) -> None:
+        """Hook: a new outermost transaction opened."""
+
+    def _precommit(self) -> None:
+        """Hook: the commit point — runs before any RAM apply."""
+
+    def _mutate(self, op: str, *args) -> None:
+        if self._txn is None:
+            getattr(self, "_do_" + op)(*args)
+        else:
+            self._txn.append((op, args))
 
     # -- DCFs -------------------------------------------------------------
     def store_dcf(self, dcf: DCF) -> None:
         """File a (still encrypted) DCF by its content id."""
+        self._mutate("store_dcf", dcf)
+
+    def _do_store_dcf(self, dcf: DCF) -> None:
         self.dcfs[dcf.content_id] = dcf
 
     def get_dcf(self, content_id: str) -> DCF:
@@ -93,7 +149,31 @@ class DeviceStorage:
     # -- installed ROs ----------------------------------------------------
     def store_ro(self, installed: InstalledRightsObject) -> None:
         """File an installed RO by its RO id."""
+        self._mutate("store_ro", installed)
+
+    def _do_store_ro(self, installed: InstalledRightsObject) -> None:
         self.installed_ros[installed.ro_id] = installed
+
+    def remove_ro(self, ro_id: str) -> None:
+        """Delete an installed RO (move-export surrenders rights)."""
+        self._mutate("remove_ro", ro_id)
+
+    def _do_remove_ro(self, ro_id: str) -> None:
+        self.installed_ros.pop(ro_id, None)
+
+    def set_ro_state(self, ro_id: str, state: RightsState) -> None:
+        """Replace one installed RO's constraint state wholesale.
+
+        The count decrement and the first-use timestamp of a
+        consumption travel together in the one ``state`` object, so a
+        transaction can never persist half of them.
+        """
+        self._mutate("set_ro_state", ro_id, state)
+
+    def _do_set_ro_state(self, ro_id: str, state: RightsState) -> None:
+        installed = self.installed_ros.get(ro_id)
+        if installed is not None:
+            installed.state = state
 
     def find_ro_for_content(self, content_id: str) -> InstalledRightsObject:
         """The first installed RO governing ``content_id``."""
@@ -107,6 +187,9 @@ class DeviceStorage:
     # -- RI contexts ------------------------------------------------------
     def store_ri_context(self, context: RIContext) -> None:
         """File the trusted-RI record established by registration."""
+        self._mutate("store_ri_context", context)
+
+    def _do_store_ri_context(self, context: RIContext) -> None:
         self.ri_contexts[context.ri_id] = context
 
     def get_ri_context(self, ri_id: str, now: int) -> RIContext:
@@ -133,6 +216,9 @@ class DeviceStorage:
     # -- domain contexts ---------------------------------------------------
     def store_domain_context(self, context: DomainContext) -> None:
         """File a domain membership record."""
+        self._mutate("store_domain_context", context)
+
+    def _do_store_domain_context(self, context: DomainContext) -> None:
         self.domain_contexts[context.domain_id] = context
 
     def get_domain_context(self, domain_id: str) -> DomainContext:
@@ -146,6 +232,9 @@ class DeviceStorage:
 
     def remove_domain_context(self, domain_id: str) -> None:
         """Forget a domain membership (LeaveDomain)."""
+        self._mutate("remove_domain_context", domain_id)
+
+    def _do_remove_domain_context(self, domain_id: str) -> None:
         self.domain_contexts.pop(domain_id, None)
 
     # -- replay protection ---------------------------------------------------
@@ -155,4 +244,7 @@ class DeviceStorage:
 
     def remember(self, ro_guid: tuple) -> None:
         """Record an installation in the replay cache."""
+        self._mutate("remember", ro_guid)
+
+    def _do_remember(self, ro_guid: tuple) -> None:
         self.replay_cache.add(ro_guid)

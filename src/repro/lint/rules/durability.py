@@ -1,0 +1,135 @@
+"""REP5xx — durability of device storage.
+
+:mod:`repro.store` made persistence transactional: every mutation of
+:class:`~repro.drm.storage.DeviceStorage` is write-ahead journaled, so
+a power loss either replays the whole transaction or none of it. That
+guarantee only holds for mutations that go *through* the storage API.
+A ``agent.storage.installed_ros[x] = y`` from protocol code is
+functionally identical on volatile storage and silently non-durable on
+journaled storage — exactly the class of bug the crash sweep exists to
+catch. REP501 flags direct mutation of the storage dictionaries from
+``repro.drm``; REP502 flags in-place edits of an installed RO's
+constraint state (the snapshot-then-``set_ro_state`` pattern is the
+journaled path; partial in-place decrements can be half-applied at a
+crash point).
+
+Reads (``.get()``, ``.values()``, membership tests) are fine anywhere:
+durability constrains writes, not lookups.
+"""
+
+import ast
+from typing import Iterator
+
+from .base import RawFinding, Rule
+
+#: DeviceStorage's persistent dictionaries/sets.
+_STORAGE_FIELDS = frozenset({
+    "dcfs", "installed_ros", "ri_contexts", "domain_contexts",
+    "replay_cache",
+})
+
+#: Method names that mutate a dict/set in place.
+_MUTATOR_METHODS = frozenset({
+    "add", "clear", "discard", "pop", "popitem", "remove",
+    "setdefault", "update",
+})
+
+#: The storage module itself applies buffered ops; it is the one place
+#: allowed to touch the dictionaries directly.
+_STORAGE_MODULE = "repro.drm.storage"
+
+#: Attribute names of an installed RO's mutable constraint state.
+_STATE_FIELDS = frozenset({"remaining_counts", "first_use"})
+
+
+def _attribute_name(node) -> str:
+    """The trailing attribute name of ``node``, or empty."""
+    return node.attr if isinstance(node, ast.Attribute) else ""
+
+
+def _is_state_chain(node) -> bool:
+    """True for ``<expr>.state.remaining_counts``-shaped chains."""
+    return (isinstance(node, ast.Attribute)
+            and node.attr in _STATE_FIELDS
+            and _attribute_name(node.value) == "state")
+
+
+class NoDirectStorageMutationRule(Rule):
+    """REP501: storage dicts are mutated only via the storage API."""
+
+    id = "REP501"
+    title = ("repro.drm mutates a DeviceStorage dictionary directly; "
+             "on journaled storage the write bypasses the write-ahead "
+             "journal and is lost at power loss")
+    default_scopes = ("repro.drm",)
+
+    @staticmethod
+    def _storage_field(node) -> str:
+        """The storage field a subscript/call receiver names, or ''."""
+        if isinstance(node, ast.Subscript):
+            node = node.value
+        name = _attribute_name(node)
+        return name if name in _STORAGE_FIELDS else ""
+
+    def check(self, ctx, project) -> Iterator[RawFinding]:
+        if ctx.name == _STORAGE_MODULE:
+            return
+        for node in ast.walk(ctx.tree):
+            field = ""
+            if isinstance(node, (ast.Assign, ast.AugAssign, ast.Delete)):
+                targets = (node.targets if isinstance(node, ast.Assign)
+                           else [node.target]
+                           if isinstance(node, ast.AugAssign)
+                           else node.targets)
+                for target in targets:
+                    if isinstance(target, ast.Subscript):
+                        field = self._storage_field(target) or field
+            elif isinstance(node, ast.Call) \
+                    and isinstance(node.func, ast.Attribute) \
+                    and node.func.attr in _MUTATOR_METHODS:
+                field = self._storage_field(node.func.value)
+            if field:
+                yield self.finding(
+                    node, "direct mutation of storage.%s bypasses the "
+                          "transactional storage API; use the "
+                          "DeviceStorage mutator (journaled and "
+                          "crash-atomic) instead" % field)
+
+
+class NoInPlaceStateMutationRule(Rule):
+    """REP502: constraint state is replaced, never edited in place."""
+
+    id = "REP502"
+    title = ("repro.drm edits an installed RO's constraint state in "
+             "place; snapshot it and write it back with set_ro_state "
+             "so the update is journaled atomically")
+    default_scopes = ("repro.drm",)
+
+    def check(self, ctx, project) -> Iterator[RawFinding]:
+        for node in ast.walk(ctx.tree):
+            hit = None
+            if isinstance(node, (ast.Assign, ast.AugAssign, ast.Delete)):
+                targets = (node.targets if isinstance(node, ast.Assign)
+                           else [node.target]
+                           if isinstance(node, ast.AugAssign)
+                           else node.targets)
+                for target in targets:
+                    sub = (target.value
+                           if isinstance(target, ast.Subscript)
+                           else target)
+                    if _is_state_chain(sub):
+                        hit = sub
+            elif isinstance(node, ast.Call) \
+                    and isinstance(node.func, ast.Attribute) \
+                    and node.func.attr in _MUTATOR_METHODS \
+                    and _is_state_chain(node.func.value):
+                hit = node.func.value
+            if hit is not None:
+                yield self.finding(
+                    node, "in-place edit of .state.%s can be "
+                          "half-applied at a crash point; snapshot() "
+                          "the state, mutate the copy, and commit it "
+                          "via set_ro_state" % hit.attr)
+
+
+RULES = (NoDirectStorageMutationRule, NoInPlaceStateMutationRule)

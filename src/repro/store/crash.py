@@ -1,0 +1,140 @@
+"""Crash-point fault injection for the storage layer.
+
+The wire-side fault channel (:mod:`repro.drm.roap.faults`) models a
+bearer that loses messages; this module models a battery that loses
+charge. A :class:`CrashInjector` sits under the journal's flash region
+and can kill execution at any *write boundary* — immediately before a
+record write, partway through it (a torn write: only a prefix of the
+record's bytes reach flash), or immediately after the bytes land but
+before the in-RAM state is touched.
+
+Two modes mirror the fault plan's design:
+
+* **deterministic** — a :class:`CrashPoint` names one boundary and a
+  torn fraction; :func:`enumerate_crash_points` enumerates every
+  (boundary, fraction) pair so a sweep can prove recovery correct at
+  *all* of them, not a sampled subset;
+* **seeded** — a ``seed``/``crash_rate`` pair draws crashes and torn
+  cuts from a private :class:`random.Random`, so randomized soak tests
+  are exactly reproducible.
+
+A fired injector disarms itself: recovery and the re-run after it see a
+healthy flash unless the caller arms a new point.
+"""
+
+import random
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+
+class StoreError(Exception):
+    """Base class for storage-layer failures."""
+
+
+class PowerLossError(StoreError):
+    """The simulated terminal lost power mid-operation.
+
+    Deliberately *not* a :class:`~repro.drm.errors.DRMError`: protocol
+    code must never catch-and-continue past a power loss — the RAM
+    state is gone and only :class:`~repro.store.recovery.Recovery` may
+    run next.
+    """
+
+
+class JournalCorruptError(StoreError):
+    """The journal's valid prefix could not be parsed at all."""
+
+
+#: Torn-write fractions the exhaustive sweep probes at each boundary:
+#: nothing persisted, half a record persisted, the full record persisted
+#: (power lost after the write, before the RAM apply).
+SWEEP_FRACTIONS = (0.0, 0.5, 1.0)
+
+
+@dataclass(frozen=True)
+class CrashPoint:
+    """One deterministic crash location.
+
+    ``boundary`` counts journal write boundaries from 0 in execution
+    order; ``fraction`` is how much of that record's frame reaches flash
+    before power dies (0.0 = nothing, 1.0 = everything).
+    """
+
+    boundary: int
+    fraction: float
+
+    def __post_init__(self) -> None:
+        if self.boundary < 0:
+            raise ValueError("crash boundary must be non-negative")
+        if not 0.0 <= self.fraction <= 1.0:
+            raise ValueError("torn fraction must be within [0, 1]")
+
+
+def enumerate_crash_points(
+        boundaries: int,
+        fractions: Sequence[float] = SWEEP_FRACTIONS) -> List[CrashPoint]:
+    """Every (boundary, fraction) crash point of an operation.
+
+    ``boundaries`` is the number of journal writes the clean operation
+    performs (count them with an un-armed injector or
+    ``Journal.records_appended``); the sweep then kills the operation at
+    each write, at each torn fraction.
+    """
+    if boundaries < 0:
+        raise ValueError("boundary count must be non-negative")
+    return [CrashPoint(boundary=index, fraction=fraction)
+            for index in range(boundaries)
+            for fraction in fractions]
+
+
+class CrashInjector:
+    """Decides, per flash append, whether power is lost and where.
+
+    Exactly one of the two modes is active:
+
+    * ``point`` — crash deterministically at that boundary/fraction;
+    * ``seed`` + ``crash_rate`` — crash each append with probability
+      ``crash_rate``, torn cut drawn uniformly over the frame.
+
+    ``boundaries_seen`` counts every append the injector observed, so a
+    clean run doubles as the boundary enumerator for the sweep.
+    """
+
+    def __init__(self, point: Optional[CrashPoint] = None,
+                 seed: Optional[str] = None,
+                 crash_rate: float = 0.0) -> None:
+        if point is not None and seed is not None:
+            raise ValueError(
+                "arm either a deterministic point or a seeded rate")
+        if not 0.0 <= crash_rate <= 1.0:
+            raise ValueError("crash rate must be within [0, 1]")
+        if crash_rate > 0.0 and seed is None:
+            raise ValueError("a seeded injector needs a seed string")
+        self.point = point
+        self.crash_rate = crash_rate
+        self._rng = random.Random(seed) if seed is not None else None
+        self.boundaries_seen = 0
+        self.fired = False
+
+    def arm(self, point: CrashPoint) -> None:
+        """Re-arm for another deterministic crash (resets the counter)."""
+        self.point = point
+        self.boundaries_seen = 0
+        self.fired = False
+
+    def on_append(self, frame: bytes) -> Tuple[bytes, bool]:
+        """Decide one append's fate: (bytes that reach flash, crash?)."""
+        index = self.boundaries_seen
+        self.boundaries_seen += 1
+        if self.fired:
+            return frame, False
+        if self.point is not None and index == self.point.boundary:
+            self.fired = True
+            cut = int(len(frame) * self.point.fraction)
+            return frame[:cut], True
+        if self._rng is not None and self.crash_rate > 0.0 \
+                and self._rng.random() < self.crash_rate:
+            self.fired = True
+            cut = self._rng.randrange(len(frame) + 1)
+            return frame[:cut], True
+        return frame, False

@@ -1,0 +1,172 @@
+"""The write-ahead journal and the flash region underneath it.
+
+Every mutation of durable device state is first appended here as one
+*record*, and a transaction's mutations only count after its commit
+record lands. A record's frame is::
+
+    | length (4 octets, big-endian) | body | HMAC-SHA1(body) (20 octets) |
+
+The body is the project's canonical encoding
+(:mod:`repro.drm.serialize`) of ``{"txn": n, "op": name, "args": {...}}``.
+The length prefix detects a frame cut short by power loss; the HMAC —
+keyed under the device key ``K_DEV`` and computed through the agent's
+crypto provider, so it is metered like every other crypto operation —
+detects a frame whose tail octets never left the flash controller's
+write buffer (classic torn-write garbage: the length is intact but the
+body is not). Scanning stops at the first invalid frame: on a
+power-loss medium only the tail can be torn, and everything at or past
+the tear is discarded by recovery.
+"""
+
+import struct
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from ..drm import serialize
+from ..drm.errors import WireDecodeError
+from .crash import CrashInjector, PowerLossError
+
+#: Octets of the big-endian length prefix.
+LENGTH_OCTETS = 4
+
+#: Octets of the HMAC-SHA1 framing tag.
+TAG_OCTETS = 20
+
+#: Reserved operation name marking a transaction as committed.
+COMMIT_OP = "commit"
+
+
+class Flash:
+    """The persistent byte region that survives power loss.
+
+    RAM (the dict-based :class:`~repro.drm.storage.DeviceStorage`) dies
+    with the power; whatever ``append`` managed to persist here — torn
+    tail included — is what recovery gets to work with.
+    """
+
+    def __init__(self, injector: Optional[CrashInjector] = None) -> None:
+        self.data = bytearray()
+        self.injector = injector
+
+    def __len__(self) -> int:
+        return len(self.data)
+
+    def append(self, frame: bytes) -> None:
+        """Persist ``frame``; a crash may tear it and kill the caller."""
+        if self.injector is None:
+            self.data += frame
+            return
+        persisted, crash = self.injector.on_append(frame)
+        self.data += persisted
+        if crash:
+            raise PowerLossError(
+                "power lost at journal write boundary %d (%d of %d "
+                "octets persisted)" % (self.injector.boundaries_seen - 1,
+                                       len(persisted), len(frame)))
+
+    def truncate(self, length: int) -> None:
+        """Drop everything past ``length`` (recovery's torn-tail cut)."""
+        del self.data[length:]
+
+
+@dataclass(frozen=True)
+class JournalRecord:
+    """One decoded journal record."""
+
+    txn: int
+    op: str
+    args: dict
+
+    @property
+    def is_commit(self) -> bool:
+        """Whether this record is a transaction commit marker."""
+        return self.op == COMMIT_OP
+
+
+class Journal:
+    """Write-ahead log of storage mutations over one flash region.
+
+    ``crypto`` is a :class:`~repro.core.meter.PlainCrypto`-compatible
+    provider; with a metered provider every record append and every
+    recovery scan shows up in the priced operation trace.
+    """
+
+    def __init__(self, crypto, key: bytes,
+                 flash: Optional[Flash] = None,
+                 injector: Optional[CrashInjector] = None) -> None:
+        if not key:
+            raise ValueError("the journal needs a non-empty HMAC key")
+        if flash is not None and injector is not None:
+            flash.injector = injector
+        self.flash = flash if flash is not None \
+            else Flash(injector=injector)
+        self.crypto = crypto
+        self.key = key
+        #: Records appended through this Journal instance (not the flash
+        #: total): the boundary counter measurements use.
+        self.records_appended = 0
+
+    # -- writing -----------------------------------------------------------
+    def append(self, txn: int, op: str, args: dict) -> None:
+        """Append one mutation record (one write boundary)."""
+        self._write(serialize.encode({"txn": txn, "op": op,
+                                      "args": args}))
+
+    def commit(self, txn: int) -> None:
+        """Append the commit record sealing transaction ``txn``."""
+        self._write(serialize.encode({"txn": txn, "op": COMMIT_OP,
+                                      "args": {}}))
+
+    def _write(self, body: bytes) -> None:
+        tag = self.crypto.hmac_sha1(self.key, body,
+                                    label="journal-record")
+        frame = struct.pack(">I", len(body)) + body + tag
+        self.flash.append(frame)
+        self.records_appended += 1
+
+    # -- reading -----------------------------------------------------------
+    def scan(self) -> Tuple[List[JournalRecord], int]:
+        """Decode the valid record prefix: (records, valid octet count).
+
+        Everything from the first invalid frame on is a torn tail (power
+        died mid-write); the caller truncates flash to the returned
+        offset before appending again. Each record's HMAC check runs
+        through the crypto provider, so recovery is priced.
+        """
+        data = self.flash.data
+        records: List[JournalRecord] = []
+        position = 0
+        while position < len(data):
+            frame = self._read_frame(data, position)
+            if frame is None:
+                break
+            record, end = frame
+            records.append(record)
+            position = end
+        return records, position
+
+    def _read_frame(self, data: bytearray,
+                    position: int) -> Optional[Tuple[JournalRecord, int]]:
+        if position + LENGTH_OCTETS > len(data):
+            return None
+        (length,) = struct.unpack_from(">I", data, position)
+        body_start = position + LENGTH_OCTETS
+        end = body_start + length + TAG_OCTETS
+        if end > len(data):
+            return None
+        body = bytes(data[body_start:body_start + length])
+        tag = bytes(data[body_start + length:end])
+        if not self.crypto.hmac_verify(self.key, body, tag,
+                                       label="journal-scan"):
+            return None
+        try:
+            decoded = serialize.decode(body)
+        except WireDecodeError:
+            return None
+        if not isinstance(decoded, dict) \
+                or not isinstance(decoded.get("op"), str) \
+                or not isinstance(decoded.get("txn"), int) \
+                or not isinstance(decoded.get("args"), dict):
+            return None
+        return JournalRecord(txn=decoded["txn"], op=decoded["op"],
+                             args=decoded["args"]), end

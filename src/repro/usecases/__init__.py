@@ -6,11 +6,14 @@
 * :mod:`~repro.usecases.runner` — functional end-to-end execution
 * :mod:`~repro.usecases.workload` — exact rescaling to paper-scale traces
 * :mod:`~repro.usecases.fleet` — sharded large-population simulation
+* :mod:`~repro.usecases.durability` — priced write-ahead journal overhead
 """
 
 from .catalog import (MUSIC_ACCESSES, MUSIC_CONTENT_OCTETS,
                       RINGTONE_ACCESSES, RINGTONE_CONTENT_OCTETS,
                       music_player, paper_use_cases, ringtone)
+from .durability import (DurabilityMeasurement, DurabilityTemplates,
+                         build_durability_templates, measure_durability)
 from .fleet import (DEFAULT_FAMILIES, CostTemplates, DeviceDraw,
                     FleetAccumulator, FleetConfig, FleetResult,
                     ScenarioFamily, build_cost_templates, draw_device,
@@ -32,4 +35,6 @@ __all__ = [
     "DEFAULT_FAMILIES", "CostTemplates", "DeviceDraw",
     "FleetAccumulator", "FleetConfig", "FleetResult", "ScenarioFamily",
     "build_cost_templates", "draw_device", "run_fleet",
+    "DurabilityMeasurement", "DurabilityTemplates",
+    "build_durability_templates", "measure_durability",
 ]

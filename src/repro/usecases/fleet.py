@@ -50,6 +50,7 @@ from ..core.trace import Phase
 from ..drm.roap.wire import WireChannel
 from ..drm.rel import play_count
 from .catalog import ringtone
+from .durability import DurabilityTemplates, build_durability_templates
 from .runner import run_functional
 from .scenario import KIB, MIB
 from .workload import (DEFAULT_CALIBRATION_OCTETS, dcf_octets_for_content,
@@ -125,6 +126,8 @@ class FleetConfig:
     shard_size: int = 25_000
     rsa_bits: int = RSA_BITS
     calibration_octets: int = DEFAULT_CALIBRATION_OCTETS
+    journaled: bool = False
+    crash_rate: float = 0.0
 
     def __post_init__(self) -> None:
         if self.devices < 1:
@@ -143,6 +146,11 @@ class FleetConfig:
             raise ValueError("shard size must be positive")
         if self.window_seconds < 1 or self.arrival_bins < 1:
             raise ValueError("window and bins must be positive")
+        if not 0.0 <= self.crash_rate <= 1.0:
+            raise ValueError("crash rate must be within [0, 1]")
+        if self.crash_rate > 0.0 and not self.journaled:
+            raise ValueError("crash modeling requires journaled "
+                             "storage (set journaled=True)")
 
     def size_buckets(self) -> Tuple[int, ...]:
         """All distinct content sizes any device can draw, sorted."""
@@ -172,6 +180,8 @@ class CostTemplates:
     access_cycles: Dict[int, Dict[str, int]]
     registration_octets: int
     acquisition_octets: int
+    #: Journal/recovery pricing; None unless the fleet is journaled.
+    durability: Optional[DurabilityTemplates] = None
 
 
 def build_cost_templates(config: FleetConfig) -> CostTemplates:
@@ -186,12 +196,13 @@ def build_cost_templates(config: FleetConfig) -> CostTemplates:
     """
     return _cached_templates(config.seed, config.rsa_bits,
                              config.calibration_octets,
-                             config.size_buckets())
+                             config.size_buckets(), config.journaled)
 
 
 @lru_cache(maxsize=8)
 def _cached_templates(seed: str, rsa_bits: int, calibration_octets: int,
-                      size_buckets: Tuple[int, ...]) -> CostTemplates:
+                      size_buckets: Tuple[int, ...],
+                      journaled: bool = False) -> CostTemplates:
     world = DRMWorld.create(seed=seed + "/templates", metered=True,
                             rsa_bits=rsa_bits)
     calibration = ringtone().scaled(calibration_octets, accesses=1)
@@ -234,6 +245,12 @@ def _cached_templates(seed: str, rsa_bits: int, calibration_octets: int,
     acquisition_octets = (channel.log.total_octets()
                           - registration_octets)
 
+    durability = None
+    if journaled:
+        durability = build_durability_templates(
+            seed, rsa_bits=rsa_bits,
+            calibration_octets=calibration_octets)
+
     return CostTemplates(
         registration_cycles=phase_cycles[Phase.REGISTRATION],
         acquisition_cycles=phase_cycles[Phase.ACQUISITION],
@@ -241,6 +258,7 @@ def _cached_templates(seed: str, rsa_bits: int, calibration_octets: int,
         access_cycles=access_cycles,
         registration_octets=registration_octets,
         acquisition_octets=acquisition_octets,
+        durability=durability,
     )
 
 
@@ -258,6 +276,10 @@ class DeviceDraw:
     registered: bool
     acquisition_attempts: int
     acquired: bool
+    #: Whether the device lost power once during its access sequence,
+    #: and after how many completed accesses (journal depth at reboot).
+    crashed: bool = False
+    crash_point: int = 0
 
 
 def _attempt_success_probability(loss_rate: float,
@@ -318,11 +340,21 @@ def draw_device(config: FleetConfig, index: int) -> DeviceDraw:
         reg_attempts, registered = 1, True
         acq_attempts, acquired = 1, True
 
+    # Crash draws come last, gated on crash_rate: a crash-free config
+    # consumes the identical random stream as before this draw existed,
+    # so historical seeded results stay bit-identical.
+    crashed, crash_point = False, 0
+    if config.crash_rate > 0.0 and acquired:
+        crashed = rng.random() < config.crash_rate
+        if crashed:
+            crash_point = rng.randrange(accesses + 1)
+
     return DeviceDraw(
         index=index, family=family.name, content_octets=content_octets,
         accesses=accesses, arrival_bin=arrival_bin, lossy=lossy,
         registration_attempts=reg_attempts, registered=registered,
         acquisition_attempts=acq_attempts, acquired=acquired,
+        crashed=crashed, crash_point=crash_point,
     )
 
 
@@ -344,6 +376,8 @@ class FleetAccumulator:
     failed_registrations: int = 0
     failed_acquisitions: int = 0
     accesses: int = 0
+    recoveries: int = 0
+    recovery_records: int = 0
 
     def observe(self, draw: DeviceDraw, config: FleetConfig,
                 templates: CostTemplates) -> None:
@@ -358,6 +392,16 @@ class FleetAccumulator:
                        * templates.acquisition_octets)
             retries += draw.acquisition_attempts - 1
 
+        durability = templates.durability
+        replayed = 0
+        if draw.crashed and durability is not None:
+            # Journal depth when power died: everything written up to
+            # the crash point (registration, install, completed
+            # accesses) is what the reboot replay has to scan.
+            replayed = (durability.registration_records
+                        + durability.install_records
+                        + draw.crash_point * durability.access_records)
+
         per_access = templates.access_cycles[draw.content_octets]
         for profile in PAPER_PROFILES:
             name = profile.name
@@ -369,6 +413,14 @@ class FleetAccumulator:
             if draw.acquired:
                 total += templates.installation_cycles[name]
                 total += draw.accesses * per_access[name]
+            if durability is not None:
+                total += (draw.registration_attempts
+                          * durability.registration_overhead_cycles[name])
+                if draw.acquired:
+                    total += durability.installation_overhead_cycles[name]
+                    total += (draw.accesses
+                              * durability.access_overhead_cycles[name])
+                total += durability.recovery_cycles_for(name, replayed)
             if name not in self.cycles:
                 self.cycles[name] = StreamingStats()
             self.cycles[name].add(total)
@@ -385,6 +437,8 @@ class FleetAccumulator:
         self.failed_acquisitions += int(draw.registered
                                         and not draw.acquired)
         self.accesses += draw.accesses if draw.acquired else 0
+        self.recoveries += int(draw.crashed)
+        self.recovery_records += replayed
 
     def merge(self, other: "FleetAccumulator") -> "FleetAccumulator":
         """Exact union (associative and commutative)."""
@@ -411,6 +465,9 @@ class FleetAccumulator:
             failed_acquisitions=(self.failed_acquisitions
                                  + other.failed_acquisitions),
             accesses=self.accesses + other.accesses,
+            recoveries=self.recoveries + other.recoveries,
+            recovery_records=(self.recovery_records
+                              + other.recovery_records),
         )
 
     def peak_request_bin(self) -> Tuple[Optional[int], int]:

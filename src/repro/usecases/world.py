@@ -55,13 +55,20 @@ class DRMWorld:
                verify_dcf_on_install: bool = False,
                kdev_optimization: bool = True,
                rsa_bits: int = RSA_BITS,
-               clock: Optional[SimulationClock] = None) -> "DRMWorld":
+               clock: Optional[SimulationClock] = None,
+               durable: bool = False,
+               storage_injector=None) -> "DRMWorld":
         """Build a deterministic world from ``seed``.
 
         ``metered=True`` gives the agent a :class:`MeteredCrypto` provider
         whose trace the caller can price; servers always run un-metered.
         ``rsa_bits`` can be lowered (e.g. to 512) to speed up unit tests
-        that don't depend on the 1024-bit default.
+        that don't depend on the 1024-bit default. ``durable=True`` puts
+        the agent on journaled power-loss-atomic storage
+        (:mod:`repro.store`); the journal's HMAC framing then shows up in
+        the metered trace, which is why the paper-baseline default stays
+        volatile. ``storage_injector`` optionally arms a
+        :class:`~repro.store.crash.CrashInjector` under that journal.
         """
         clock = clock if clock is not None else SimulationClock()
         server_crypto = PlainCrypto(HmacDrbg((seed + "/server").encode()))
@@ -100,6 +107,7 @@ class DRMWorld:
             crypto=agent_crypto, clock=clock,
             verify_dcf_on_install=verify_dcf_on_install,
             kdev_optimization=kdev_optimization,
+            durable=durable, storage_injector=storage_injector,
         )
         return cls(seed=seed, clock=clock, ca=ca, ocsp=ocsp, ri=ri,
                    ci=ci, agent=agent, agent_crypto=agent_crypto)

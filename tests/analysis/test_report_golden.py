@@ -33,6 +33,7 @@ EXPECTED_SECTIONS = (
     "## In-text claims",
     "## ROAP message sizes",
     "## Retry overhead under loss",
+    "## Durability overhead and recovery",
     "## Fleet-scale workload",
     "## Verdict",
 )

@@ -235,6 +235,68 @@ def test_rep403_flags_builtin_raise_in_decode_path(tmp_path):
     assert rule_ids(result) == ["REP403"]
 
 
+# -- REP5xx durability -------------------------------------------------------
+
+def test_rep501_flags_direct_storage_dict_mutation(tmp_path):
+    result = lint_tree(tmp_path, {"repro/drm/a.py": """
+        def install(agent, installed):
+            agent.storage.installed_ros[installed.ro_id] = installed
+        def forget(agent, ro_id):
+            del agent.storage.installed_ros[ro_id]
+        def remember(agent, guid):
+            agent.storage.replay_cache.add(guid)
+        """})
+    assert rule_ids(result) == ["REP501", "REP501", "REP501"]
+
+
+def test_rep501_allows_reads_and_storage_module_itself(tmp_path):
+    result = lint_tree(tmp_path, {
+        "repro/drm/a.py": """
+            def lookup(agent, ro_id):
+                if ro_id in agent.storage.replay_cache:
+                    return None
+                return agent.storage.installed_ros.get(ro_id)
+            """,
+        "repro/drm/storage.py": """
+            class DeviceStorage:
+                def _do_store_ro(self, installed):
+                    self.installed_ros[installed.ro_id] = installed
+            """,
+    })
+    assert "REP501" not in rule_ids(result)
+
+
+def test_rep501_ignores_same_names_outside_drm(tmp_path):
+    result = lint_tree(tmp_path, {"repro/usecases/f.py": """
+        def poke(agent, guid):
+            agent.storage.replay_cache.add(guid)
+        """})
+    assert "REP501" not in rule_ids(result)
+
+
+def test_rep502_flags_in_place_state_edit(tmp_path):
+    result = lint_tree(tmp_path, {"repro/drm/a.py": """
+        def consume(installed, ptype, now):
+            installed.state.remaining_counts[ptype] -= 1
+            installed.state.first_use[ptype] = now
+        """})
+    assert rule_ids(result) == ["REP502", "REP502"]
+
+
+def test_rep502_allows_snapshot_then_set_ro_state(tmp_path):
+    result = lint_tree(tmp_path, {"repro/drm/a.py": """
+        def consume(agent, installed, evaluator, permission, now):
+            state = installed.state.snapshot()
+            evaluator.consume(permission, state, now)
+            agent.storage.set_ro_state(installed.ro_id, state)
+        def evaluate(state, ptype):
+            state.remaining_counts[ptype] -= 1
+        """})
+    # The local-variable mutation in evaluate() is the evaluator's
+    # job on a snapshot; only the .state.<field> chain is the hazard.
+    assert "REP502" not in rule_ids(result)
+
+
 # -- suppressions ------------------------------------------------------------
 
 def test_justified_suppression_silences_finding(tmp_path):

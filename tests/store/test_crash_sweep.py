@@ -1,0 +1,247 @@
+"""Exhaustive crash-point sweep over install and consume.
+
+Every journal write boundary of each operation, at every torn fraction
+(nothing / half / all of the frame persisted), must leave a device that
+recovery returns to a sane state. The five invariants checked at every
+crash point:
+
+1. **no device-key loss** — the registration context survives (and the
+   journal still authenticates under ``K_DEV``, or recovery itself
+   would have found nothing);
+2. **no double-install** — an RO is either fully installed (RO + DCFs +
+   replay-cache entry together) or fully absent; a half-installed RO
+   whose re-install passes the replay check cannot exist;
+3. **no count reset** — remaining counts never exceed the grant;
+4. **no half-applied decrement** — a crashed consume leaves the count
+   at exactly the pre- or post-consume value, never in between;
+5. **idempotent re-recovery** — recovering the recovered flash again
+   changes nothing.
+
+The sweep is fully deterministic: for a fixed seed the per-point
+outcomes hash to the same digest in any sweep order.
+"""
+
+import copy
+import hashlib
+
+import pytest
+
+from repro.drm.errors import DRMError, InstallationError
+from repro.drm.identifiers import content_id as make_content_id
+from repro.drm.identifiers import rights_object_id
+from repro.drm.rel import PermissionType, play_count
+from repro.store import (CrashInjector, CrashPoint, PowerLossError,
+                         enumerate_crash_points)
+from repro.usecases.runner import synthetic_content
+
+GRANTED = 2
+CID = make_content_id("sweep-content")
+RO_ID = rights_object_id("sweep-license")
+
+#: One injector instance so the memoized pristine-world cache is hit.
+_INJECTOR = CrashInjector()
+
+
+def prepared_world(fast_world_factory):
+    """A durable, crashable world, registered and holding the RO offer."""
+    world = fast_world_factory("crash-sweep", durable=True,
+                               storage_injector=_INJECTOR)
+    dcf = world.ci.publish(
+        content_id=CID, content_type="audio/midi",
+        clear_content=synthetic_content(512),
+        rights_issuer_url="http://ri.example/shop")
+    world.ri.add_offer(RO_ID, world.ci.negotiate_license(CID),
+                       play_count(GRANTED))
+    world.agent.register(world.ri)
+    protected_ro = world.agent.acquire(world.ri, RO_ID)
+    return world, protected_ro, dcf
+
+
+def storage_digest(storage):
+    """Order-independent fingerprint of all durable device state."""
+    state = (
+        sorted(storage.dcfs),
+        sorted((ro_id, sorted((p.value, n) for p, n in
+                              ro.state.remaining_counts.items()),
+                sorted((p.value, t) for p, t in
+                       ro.state.first_use.items()))
+               for ro_id, ro in storage.installed_ros.items()),
+        sorted(storage.ri_contexts),
+        sorted(storage.domain_contexts),
+        sorted(map(repr, sorted(storage.replay_cache))),
+    )
+    return hashlib.sha1(repr(state).encode("utf-8")).hexdigest()
+
+
+def count_boundaries(base, operation):
+    """Journal writes one clean run of ``operation`` performs."""
+    world, protected_ro, dcf = copy.deepcopy(base)
+    journal = world.agent.storage.journal
+    before = journal.records_appended
+    operation(world, protected_ro, dcf)
+    return journal.records_appended - before
+
+
+def assert_invariants(world, base_digests):
+    """The five recovery invariants; returns the recovered digest."""
+    report = world.agent.recover_storage()
+    storage = world.agent.storage
+
+    # (1) registration context survived power loss.
+    assert sorted(storage.ri_contexts) == base_digests["ri_ids"]
+
+    installed = storage.installed_ros.get(RO_ID)
+    guid_remembered = any(guid[0] == RO_ID
+                          for guid in storage.replay_cache)
+    if installed is None:
+        # (2) fully absent: no replay-cache entry blocks re-install.
+        assert not guid_remembered
+    else:
+        # (2) fully present: RO, DCF and replay entry landed together.
+        assert guid_remembered
+        assert CID in storage.dcfs
+        # (3)/(4) counts within the grant, never an impossible value.
+        remaining = installed.state.remaining_counts[PermissionType.PLAY]
+        assert 0 <= remaining <= GRANTED
+
+    # (5) re-recovery is a fixed point.
+    digest = storage_digest(storage)
+    world.agent.recover_storage()
+    assert storage_digest(world.agent.storage) == digest
+    assert world.agent.storage.journal.flash is storage.journal.flash
+    return digest
+
+
+def run_install(world, protected_ro, dcf):
+    world.agent.install(protected_ro, dcf)
+
+
+def run_consume(world, protected_ro, dcf):
+    world.agent.consume(CID)
+
+
+def sweep(base, operation, base_digests):
+    """Crash ``operation`` at every point; return outcome mapping."""
+    boundaries = count_boundaries(base, operation)
+    assert boundaries > 0
+    outcomes = {}
+    for point in enumerate_crash_points(boundaries):
+        world, protected_ro, dcf = copy.deepcopy(base)
+        world.agent.storage.journal.flash.injector.arm(point)
+        with pytest.raises(PowerLossError):
+            operation(world, protected_ro, dcf)
+        digest = assert_invariants(world, base_digests)
+        outcomes[(point.boundary, point.fraction)] = (
+            digest, RO_ID in world.agent.storage.installed_ros,
+            world, protected_ro, dcf)
+    return boundaries, outcomes
+
+
+def test_install_crash_sweep(fast_world_factory):
+    base = prepared_world(fast_world_factory)
+    base_digests = {"ri_ids": sorted(base[0].agent.storage.ri_contexts)}
+    boundaries, outcomes = sweep(base, run_install, base_digests)
+    # store_ro + store_dcf + remember + commit.
+    assert boundaries == 4
+
+    clean_world, clean_ro, clean_dcf = copy.deepcopy(base)
+    clean_world.agent.install(clean_ro, clean_dcf)
+    for _ in range(GRANTED):
+        clean_world.agent.consume(CID)
+    final_digest = storage_digest(clean_world.agent.storage)
+
+    for (boundary, fraction), (digest, applied, world, ro, dcf) \
+            in outcomes.items():
+        # The transaction applies iff the commit record fully persisted.
+        expect_applied = (boundary == boundaries - 1 and fraction == 1.0)
+        assert applied == expect_applied, (boundary, fraction)
+        # Whatever the crash point, the device completes the purchase:
+        # a discarded install retries, an applied one refuses replay.
+        if applied:
+            with pytest.raises(InstallationError):
+                world.agent.install(ro, dcf)
+        else:
+            world.agent.install(ro, dcf)
+        for _ in range(GRANTED):
+            world.agent.consume(CID)
+        with pytest.raises(DRMError):
+            world.agent.consume(CID)
+        assert storage_digest(world.agent.storage) == final_digest
+
+
+def test_consume_crash_sweep(fast_world_factory):
+    base = prepared_world(fast_world_factory)
+    base[0].agent.install(base[1], base[2])
+    base_digests = {"ri_ids": sorted(base[0].agent.storage.ri_contexts)}
+    boundaries, outcomes = sweep(base, run_consume, base_digests)
+    # set_ro_state + commit.
+    assert boundaries == 2
+
+    for (boundary, fraction), (digest, applied, world, ro, dcf) \
+            in outcomes.items():
+        storage = world.agent.storage
+        remaining = storage.installed_ros[RO_ID].state \
+            .remaining_counts[PermissionType.PLAY]
+        expect_applied = (boundary == boundaries - 1 and fraction == 1.0)
+        # (4) exactly pre- or post-consume, decided by the commit point.
+        assert remaining == GRANTED - (1 if expect_applied else 0), \
+            (boundary, fraction)
+        # The surviving count is honored precisely: `remaining` more
+        # plays succeed, then the constraint is exhausted.
+        for _ in range(remaining):
+            world.agent.consume(CID)
+        with pytest.raises(DRMError):
+            world.agent.consume(CID)
+
+
+def test_sweep_outcomes_are_order_independent(fast_world_factory):
+    base = prepared_world(fast_world_factory)
+    base_digests = {"ri_ids": sorted(base[0].agent.storage.ri_contexts)}
+    boundaries = count_boundaries(base, run_install)
+
+    def digests(points):
+        result = {}
+        for point in points:
+            world, protected_ro, dcf = copy.deepcopy(base)
+            world.agent.storage.journal.flash.injector.arm(point)
+            with pytest.raises(PowerLossError):
+                run_install(world, protected_ro, dcf)
+            world.agent.recover_storage()
+            result[(point.boundary, point.fraction)] = storage_digest(
+                world.agent.storage)
+        return result
+
+    points = enumerate_crash_points(boundaries)
+    forward = digests(points)
+    backward = digests(list(reversed(points)))
+    assert forward == backward
+    sweep_digest = hashlib.sha1(
+        repr(sorted(forward.items())).encode("utf-8")).hexdigest()
+    assert sweep_digest == hashlib.sha1(
+        repr(sorted(backward.items())).encode("utf-8")).hexdigest()
+
+
+def test_replay_hazard_regression(fast_world_factory):
+    """Crash between store_ro and remember must not wedge the device.
+
+    Before install became one transaction, a failure after ``store_ro``
+    but before ``remember`` left an installed RO that a retry would
+    re-install (replay check passes — count reset); the reverse order
+    would leave a remembered guid with no RO (retry refused — rights
+    lost). A crash at any interior boundary now discards both.
+    """
+    base = prepared_world(fast_world_factory)
+    for boundary in (1, 2):  # after store_ro / after store_dcf
+        world, protected_ro, dcf = copy.deepcopy(base)
+        world.agent.storage.journal.flash.injector.arm(
+            CrashPoint(boundary=boundary, fraction=1.0))
+        with pytest.raises(PowerLossError):
+            world.agent.install(protected_ro, dcf)
+        world.agent.recover_storage()
+        storage = world.agent.storage
+        assert RO_ID not in storage.installed_ros
+        assert not any(g[0] == RO_ID for g in storage.replay_cache)
+        # The retry succeeds and grants exactly the purchased count.
+        installed = world.agent.install(protected_ro, dcf)
+        assert installed.state.remaining_counts[
+            PermissionType.PLAY] == GRANTED

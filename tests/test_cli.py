@@ -139,6 +139,42 @@ def test_fleet_rejects_bad_config(capsys):
     assert "error:" in err
 
 
+def test_durability(capsys):
+    code, out = run_cli(capsys, "durability", "--rsa-bits", "512",
+                        "--journal-lengths", "8,64",
+                        "--seed", "cli-durability")
+    assert code == 0
+    assert "Write-ahead journal overhead per phase" in out
+    assert "Power-loss recovery replay cost vs journal length" in out
+    for architecture in ("SW", "SW/HW", "HW"):
+        assert architecture in out
+    assert "registration" in out and "access" in out
+
+
+def test_durability_rejects_bad_lengths(capsys):
+    code = main(["durability", "--journal-lengths", "8,soon"])
+    err = capsys.readouterr().err
+    assert code == 2
+    assert "error:" in err
+
+
+def test_fleet_journaled_with_crashes(capsys):
+    code, out = run_cli(capsys, "fleet", "--devices", "400",
+                        "--rsa-bits", "512", "--shard-size", "100",
+                        "--seed", "cli-fleet", "--journaled",
+                        "--crash-rate", "0.1")
+    assert code == 0
+    assert "power-loss recoveries" in out
+    assert "journal records replayed" in out
+
+
+def test_fleet_rejects_crash_rate_without_journal(capsys):
+    code = main(["fleet", "--devices", "400", "--crash-rate", "0.1"])
+    err = capsys.readouterr().err
+    assert code == 2
+    assert "journaled" in err
+
+
 def test_selftest(capsys):
     code, out = run_cli(capsys, "selftest")
     assert code == 0

@@ -304,3 +304,57 @@ def test_any_split_point_merges_exactly(seed, split):
     left = _run_shard((config, templates, 0, split))
     right = _run_shard((config, templates, split, 40 - split))
     assert left.merge(right) == whole
+
+
+# -- journaled storage and power-loss recovery -------------------------------
+
+def test_crash_rate_requires_journaled_storage():
+    with pytest.raises(ValueError):
+        FleetConfig(devices=10, crash_rate=0.1)
+    with pytest.raises(ValueError):
+        FleetConfig(devices=10, journaled=True, crash_rate=1.5)
+
+
+def test_journaled_fleet_preserves_the_draw_stream():
+    """Turning journaling on reprices devices but redraws nothing."""
+    volatile = small_config()
+    journaled = small_config(journaled=True)
+    for index in range(40):
+        a = draw_device(volatile, index)
+        b = draw_device(journaled, index)
+        assert (a.family, a.content_octets, a.accesses, a.lossy,
+                a.arrival_bin) == (b.family, b.content_octets,
+                                   b.accesses, b.lossy, b.arrival_bin)
+        assert not b.crashed  # no crash draws at crash_rate 0
+
+
+def test_journaled_fleet_costs_strictly_more():
+    base = run_fleet(small_config(), workers=1).accumulator
+    durable = run_fleet(small_config(journaled=True),
+                        workers=1).accumulator
+    assert durable.requests == base.requests
+    assert durable.accesses == base.accesses
+    for arch in ARCHES:
+        assert durable.cycles[arch].total > base.cycles[arch].total
+
+
+def test_crash_recovery_is_worker_and_shard_invariant():
+    config = small_config(journaled=True, crash_rate=0.08)
+    serial = run_fleet(config, workers=1).accumulator
+    assert serial.recoveries > 0
+    assert serial.recovery_records > 0
+    for workers in (2, 4):
+        assert run_fleet(config, workers=workers).accumulator == serial
+    resharded = small_config(journaled=True, crash_rate=0.08,
+                             shard_size=37)
+    assert run_fleet(resharded, workers=3).accumulator == serial
+
+
+def test_crashed_devices_pay_recovery_cycles():
+    quiet = run_fleet(small_config(journaled=True),
+                      workers=1).accumulator
+    crashy = run_fleet(small_config(journaled=True, crash_rate=0.5),
+                       workers=1).accumulator
+    assert crashy.recoveries > quiet.recoveries == 0
+    for arch in ARCHES:
+        assert crashy.cycles[arch].total > quiet.cycles[arch].total
