@@ -1,0 +1,210 @@
+"""NullTracer overhead budget on the protocol scenarios.
+
+The observability layer's zero-overhead claim (``docs/observability.md``)
+is that with the default :class:`~repro.obs.tracer.NullTracer` every
+instrumented call site costs one attribute lookup plus one constant
+no-op call. This benchmark makes that claim a gate:
+
+1. count the instrumentation calls (spans, events, operation records)
+   one run of each ``bench_protocol`` scenario actually performs, using
+   a counting tracer;
+2. measure the per-call cost of the real ``NULL_TRACER`` methods in a
+   tight loop;
+3. measure the scenario's wall time with the default tracer;
+4. assert ``calls x per-call-cost < 5 %`` of the scenario time.
+
+Measuring the null-path cost directly (instead of diffing two noisy
+end-to-end timings) keeps the gate stable on loaded CI hosts while
+still bounding exactly the quantity users care about: what tracing-off
+costs. Run directly (``python benchmarks/bench_obs_overhead.py``) it
+prints the per-scenario budget table and exits non-zero on a breach.
+"""
+
+import copy
+import time
+
+import pytest
+
+from repro.core.trace import Algorithm, OperationRecord, Phase
+from repro.drm.rel import play_count
+from repro.obs.tracer import NULL_TRACER
+from repro.usecases.world import DRMWorld
+
+BITS = 512
+SEED = "bench-obs-overhead"
+CONTENT = b"\xbe" * 4096
+
+#: The gate: NullTracer instrumentation cost per scenario run.
+BUDGET_FRACTION = 0.05
+
+#: Iterations for the per-call micro-measurement.
+MICRO_LOOPS = 200_000
+
+#: Wall-time repeats per scenario (minimum is reported).
+REPEATS = 3
+
+
+class CountingTracer:
+    """Counts instrumentation call sites; behaves like NullTracer."""
+
+    enabled = False
+    now = 0
+
+    class _Span:
+        def set(self, key, value):
+            pass
+
+    class _Context:
+        def __init__(self, outer):
+            self._outer = outer
+
+        def __enter__(self):
+            return self._outer._span
+
+        def __exit__(self, *exc):
+            return False
+
+    def __init__(self):
+        self.calls = 0
+        self._span = self._Span()
+        self._context = self._Context(self)
+
+    def span(self, name, track="main", category="structure", **args):
+        self.calls += 1
+        return self._context
+
+    def event(self, name, track="main", **args):
+        self.calls += 1
+        return None
+
+    def on_record(self, record):
+        self.calls += 1
+        return None
+
+
+def _pristine(tracer=None):
+    world = DRMWorld.create(seed=SEED, rsa_bits=BITS, tracer=tracer)
+    world.ci.publish("cid:b", "audio/mpeg", CONTENT, "u")
+    world.ri.add_offer("ro:b", world.ci.negotiate_license("cid:b"),
+                       play_count(10 ** 9))
+    return world
+
+
+def _scenario_registration(world):
+    world.agent.register(world.ri)
+
+
+def _scenario_acquire_install(world):
+    world.agent.register(world.ri)
+    protected = world.agent.acquire(world.ri, "ro:b")
+    world.agent.install(protected, world.ci.get_dcf("cid:b"))
+
+
+def _scenario_consume(world):
+    world.agent.register(world.ri)
+    protected = world.agent.acquire(world.ri, "ro:b")
+    world.agent.install(protected, world.ci.get_dcf("cid:b"))
+    world.agent.consume("cid:b")
+
+
+SCENARIOS = (
+    ("registration", _scenario_registration),
+    ("acquire+install", _scenario_acquire_install),
+    ("consume-4k", _scenario_consume),
+)
+
+
+def null_call_cost() -> float:
+    """Conservative per-call cost (seconds) of NULL_TRACER methods."""
+    record = OperationRecord(algorithm=Algorithm.SHA1,
+                             phase=Phase.REGISTRATION,
+                             invocations=1, blocks=4, label="probe")
+    costs = []
+    start = time.perf_counter()
+    for _ in range(MICRO_LOOPS):
+        NULL_TRACER.on_record(record)
+    costs.append((time.perf_counter() - start) / MICRO_LOOPS)
+    start = time.perf_counter()
+    for _ in range(MICRO_LOOPS):
+        with NULL_TRACER.span("probe", track="t"):
+            pass
+    costs.append((time.perf_counter() - start) / MICRO_LOOPS)
+    start = time.perf_counter()
+    for _ in range(MICRO_LOOPS):
+        NULL_TRACER.event("probe", track="t")
+    costs.append((time.perf_counter() - start) / MICRO_LOOPS)
+    return max(costs)
+
+
+def instrumentation_calls(scenario) -> int:
+    """How many tracer calls one run of ``scenario`` performs."""
+    tracer = CountingTracer()
+    scenario(_pristine(tracer=tracer))
+    return tracer.calls
+
+
+def scenario_seconds(scenario) -> float:
+    """Minimum wall time of ``scenario`` with the default NullTracer."""
+    worlds = [_pristine() for _ in range(REPEATS)]
+    best = None
+    for world in worlds:
+        start = time.perf_counter()
+        scenario(world)
+        elapsed = time.perf_counter() - start
+        if best is None or elapsed < best:
+            best = elapsed
+    return best
+
+
+def overhead_rows():
+    """(name, calls, per-call s, scenario s, fraction) per scenario."""
+    per_call = null_call_cost()
+    rows = []
+    for name, scenario in SCENARIOS:
+        calls = instrumentation_calls(scenario)
+        seconds = scenario_seconds(scenario)
+        fraction = (calls * per_call) / seconds
+        rows.append((name, calls, per_call, seconds, fraction))
+    return rows
+
+
+# -- pytest-benchmark entry points ------------------------------------------
+
+@pytest.fixture(scope="module")
+def pristine():
+    return _pristine()
+
+
+def bench_null_tracer_consume(benchmark, pristine):
+    def run():
+        _scenario_consume(copy.deepcopy(pristine))
+    benchmark(run)
+
+
+def test_null_tracer_overhead_within_budget():
+    for name, calls, per_call, seconds, fraction in overhead_rows():
+        assert fraction < BUDGET_FRACTION, (
+            "%s: %d null-tracer calls x %.1f ns = %.2f%% of %.1f ms "
+            "(budget %.0f%%)"
+            % (name, calls, per_call * 1e9, 100.0 * fraction,
+               seconds * 1e3, 100.0 * BUDGET_FRACTION))
+
+
+def main() -> int:
+    failures = 0
+    print("%-16s %8s %12s %12s %9s" % (
+        "scenario", "calls", "per-call[ns]", "runtime[ms]", "overhead"))
+    for name, calls, per_call, seconds, fraction in overhead_rows():
+        print("%-16s %8d %12.1f %12.2f %8.3f%%" % (
+            name, calls, per_call * 1e9, seconds * 1e3,
+            100.0 * fraction))
+        if fraction >= BUDGET_FRACTION:
+            failures += 1
+    print("NullTracer overhead budget (<%.0f%%) %s"
+          % (100.0 * BUDGET_FRACTION,
+             "FAILED" if failures else "PASSED"))
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

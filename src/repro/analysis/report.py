@@ -8,7 +8,7 @@ the in-text claims, message sizes — into a single Markdown document, and
 from dataclasses import dataclass
 
 from . import (claims, durability, figure5, figure6, figure7, fleet,
-               messages, resilience, table1)
+               messages, observability, resilience, table1)
 from .common import DEFAULT_SEED
 from .formatting import deviation_pct
 
@@ -82,6 +82,10 @@ def generate(seed: str = DEFAULT_SEED) -> ReproductionReport:
     population = fleet.generate(seed)
     sections.append("## Fleet-scale workload\n\n```\n%s\n```"
                     % population.render())
+
+    observed = observability.generate(seed)
+    sections.append("## Observability\n\n```\n%s\n```"
+                    % observed.render())
 
     verdicts = []
     verdicts.append("Table 1 matches the paper: %s"

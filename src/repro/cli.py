@@ -13,14 +13,24 @@ Commands:
 * ``resilience`` — expected retry overhead on a lossy bearer.
 * ``durability`` — write-ahead journal overhead and recovery cost.
 * ``fleet`` — simulate a large device population against one RI.
+* ``trace`` — run a named scenario with the cycle-timebase tracer and
+  export Chrome trace-event JSON plus a metrics registry.
 * ``report`` — write the full paper-vs-measured Markdown report.
 * ``selftest`` — run the cryptographic known-answer self-tests.
 * ``lint`` — run the AST-based invariant analyzer (``repro.lint``).
+
+Every analysis subcommand accepts ``--json`` for machine-readable
+output; ``run``/``resilience``/``durability``/``fleet`` accept
+``--trace PATH`` to additionally export a Chrome trace of the
+command's representative scenario on the virtual cycle timeline.
 """
 
 import argparse
+import json
 import sys
-from typing import List, Optional
+from dataclasses import fields, is_dataclass
+from enum import Enum
+from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from .analysis import (claims, durability, figure5, figure6, figure7,
                        fleet, report, resilience, table1)
@@ -34,9 +44,13 @@ from .lint import cli as lint_cli
 from .core.design_space import (MacroCosts, enumerate_design_points,
                                 pareto_frontier)
 from .core.model import PerformanceModel
-from .core.serialization import dump_breakdown, dump_trace
+from .core.serialization import (breakdown_to_dict, dump_breakdown,
+                                 dump_trace)
+from .obs.export import write_chrome, write_metrics
+from .obs.tracer import Tracer
 from .usecases.catalog import music_player, ringtone
 from .usecases.scenario import UseCase
+from .usecases.tracing import SCENARIOS, run_scenario
 from .usecases.workload import run_modeled
 
 _ARTIFACTS = {
@@ -47,6 +61,102 @@ _ARTIFACTS = {
     "claims": claims.generate,
 }
 
+_PROFILES = {profile.name: profile for profile in PAPER_PROFILES}
+
+#: ``(text, payload)`` produced by each subcommand builder: the rendered
+#: text artifact and its machine-readable counterpart for ``--json``.
+CommandOutput = Tuple[str, Any]
+
+
+# -- shared output helpers -------------------------------------------------
+
+def _json_key(key: Any) -> str:
+    """JSON object keys must be strings; enums export their value."""
+    if isinstance(key, Enum):
+        return str(key.value)
+    if isinstance(key, str):
+        return key
+    return str(key)
+
+
+def _jsonable(value: Any) -> Any:
+    """Recursively convert an analysis result to JSON-ready data.
+
+    Prefers an object's own ``to_dict``; otherwise walks dataclasses,
+    mappings and sequences, exporting enums by value. Scalars pass
+    through untouched.
+    """
+    to_dict = getattr(value, "to_dict", None)
+    if callable(to_dict):
+        return to_dict()
+    if is_dataclass(value) and not isinstance(value, type):
+        return {f.name: _jsonable(getattr(value, f.name))
+                for f in fields(value)}
+    if isinstance(value, Enum):
+        return value.value
+    if isinstance(value, dict):
+        return {_json_key(key): _jsonable(item)
+                for key, item in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(item) for item in value]
+    if isinstance(value, (set, frozenset)):
+        return [_jsonable(item) for item in sorted(value)]
+    return value
+
+
+def _analysis_command(args: argparse.Namespace,
+                      build: Callable[[argparse.Namespace],
+                                      CommandOutput]) -> int:
+    """The one shared driver behind every analysis subcommand.
+
+    Calls ``build``, prints its text rendering (or the JSON payload
+    under ``--json``), and maps ``ValueError`` — the library's usage
+    error convention — to exit code 2 with a message on stderr.
+    """
+    try:
+        text, payload = build(args)
+    except ValueError as error:
+        print("error: %s" % error, file=sys.stderr)
+        return 2
+    if getattr(args, "json", False):
+        print(json.dumps(_jsonable(payload), indent=2, sort_keys=True))
+    else:
+        print(text)
+    return 0
+
+
+def _export_scenario_trace(args: argparse.Namespace, scenario: str,
+                           seed: str, rsa_bits: int = 1024) -> List[str]:
+    """Trace ``scenario`` fresh and write Chrome JSON to ``args.trace``.
+
+    Returns the status lines to append to the command's text output
+    (empty when ``--trace`` was not given). The traced world is built
+    from scratch so the analysis layer's memoized runs never observe a
+    tracer.
+    """
+    if not getattr(args, "trace", None):
+        return []
+    tracer = Tracer(profile=_PROFILES[getattr(args, "arch", "SW")],
+                    actor="terminal")
+    run_scenario(scenario, tracer, seed=seed, rsa_bits=rsa_bits)
+    write_chrome(tracer, args.trace)
+    return ["cycle trace (%s scenario, %d spans) written to %s"
+            % (scenario, len(tracer.spans), args.trace)]
+
+
+def _trace_summary_payload(tracer: Tracer) -> Dict[str, Any]:
+    """The tracer facts every trace-producing command reports."""
+    return {
+        "spans": len(tracer.spans),
+        "events": len(tracer.events),
+        "operation_spans": len(tracer.operation_spans()),
+        "total_cycles": tracer.now,
+        "cycles_by_track": tracer.cycles_by_track(),
+        "cycles_by_algorithm": tracer.cycles_by_algorithm(),
+    }
+
+
+# -- subcommand builders ---------------------------------------------------
 
 def _resolve_use_case(args: argparse.Namespace) -> UseCase:
     if args.use_case == "music":
@@ -76,19 +186,19 @@ def _add_workload_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--seed", default=DEFAULT_SEED)
 
 
-def _command_artifact(name: str, args: argparse.Namespace) -> int:
-    print(_ARTIFACTS[name]().render())
-    return 0
+def _build_artifact(name: str, args: argparse.Namespace) -> CommandOutput:
+    result = _ARTIFACTS[name]()
+    return result.render(), {"artifact": name, "result": result}
 
 
-def _command_all(args: argparse.Namespace) -> int:
-    for name in ("table1", "figure5", "figure6", "figure7", "claims"):
-        print(_ARTIFACTS[name]().render())
-        print()
-    return 0
+def _build_all(args: argparse.Namespace) -> CommandOutput:
+    results = {name: _ARTIFACTS[name]() for name in _ARTIFACTS}
+    text = "\n\n".join(results[name].render()
+                       for name in _ARTIFACTS) + "\n"
+    return text, {"artifacts": results}
 
 
-def _command_run(args: argparse.Namespace) -> int:
+def _build_run(args: argparse.Namespace) -> CommandOutput:
     use_case = _resolve_use_case(args)
     run = run_modeled(use_case, seed=args.seed)
     model = PerformanceModel()
@@ -98,22 +208,39 @@ def _command_run(args: argparse.Namespace) -> int:
         breakdown = model.evaluate(run.trace, profile)
         breakdowns[profile.name] = breakdown
         rows.append((profile.name, format_ms(breakdown.total_ms)))
-    print(format_table(
+    lines = [format_table(
         ("architecture", "time [ms]"), rows,
         title="%s: %d octets x %d accesses"
               % (use_case.name, use_case.content_octets,
-                 use_case.accesses)))
+                 use_case.accesses))]
     if args.export_trace:
         dump_trace(run.trace, args.export_trace)
-        print("trace written to %s" % args.export_trace)
+        lines.append("trace written to %s" % args.export_trace)
     if args.export_breakdown:
         dump_breakdown(breakdowns[args.arch], args.export_breakdown)
-        print("%s breakdown written to %s"
-              % (args.arch, args.export_breakdown))
-    return 0
+        lines.append("%s breakdown written to %s"
+                     % (args.arch, args.export_breakdown))
+    if args.trace:
+        # Replay the modeled trace onto the cycle timeline: each record
+        # becomes one operation span priced under --arch.
+        tracer = Tracer(profile=_PROFILES[args.arch], actor="terminal")
+        for record in run.trace:
+            tracer.on_record(record)
+        write_chrome(tracer, args.trace)
+        lines.append("cycle trace (%d spans) written to %s"
+                     % (len(tracer.spans), args.trace))
+    payload = {
+        "use_case": {"name": use_case.name,
+                     "content_octets": use_case.content_octets,
+                     "accesses": use_case.accesses},
+        "seed": args.seed,
+        "architectures": {name: breakdown_to_dict(breakdown)
+                          for name, breakdown in breakdowns.items()},
+    }
+    return "\n".join(lines), payload
 
 
-def _command_pareto(args: argparse.Namespace) -> int:
+def _build_pareto(args: argparse.Namespace) -> CommandOutput:
     use_case = _resolve_use_case(args)
     run = run_modeled(use_case, seed=args.seed)
     costs = MacroCosts(aes_kgates=args.aes_kgates,
@@ -127,98 +254,141 @@ def _command_pareto(args: argparse.Namespace) -> int:
          "yes" if point in frontier else "")
         for point in points
     ]
-    print(format_table(
+    text = format_table(
         ("macro set", "kgates", "time [ms]", "energy [mJ]", "Pareto"),
         rows, title="Design space: %s (objective: %s)"
-        % (use_case.name, args.objective)))
-    return 0
+        % (use_case.name, args.objective))
+    payload = {
+        "objective": args.objective,
+        "points": [{"name": point.name, "kgates": point.kgates,
+                    "time_ms": point.time_ms,
+                    "energy_mj": point.energy_mj,
+                    "pareto": point in frontier}
+                   for point in points],
+    }
+    return text, payload
 
 
-def _command_battery(args: argparse.Namespace) -> int:
+def _build_battery(args: argparse.Namespace) -> CommandOutput:
     use_case = _resolve_use_case(args)
     run = run_modeled(use_case, seed=args.seed)
     model = PerformanceModel()
     battery = Battery(capacity_mah=args.capacity_mah)
     rows = []
+    impacts = {}
     for profile in PAPER_PROFILES:
         impact = battery_impact(model.evaluate(run.trace, profile),
                                 battery=battery)
+        impacts[profile.name] = impact
         rows.append((
             profile.name, "%.3f" % impact.millijoules,
             "%.2f" % impact.microamp_hours,
             "%.0f" % impact.runs_per_charge(),
         ))
-    print(format_table(
+    text = format_table(
         ("architecture", "energy [mJ]", "charge [uAh]",
          "workloads/charge"),
         rows, title="Battery impact: %s (%.0f mAh cell)"
-        % (use_case.name, battery.capacity_mah)))
-    return 0
+        % (use_case.name, battery.capacity_mah))
+    payload = {
+        "capacity_mah": battery.capacity_mah,
+        "architectures": {
+            name: {"millijoules": impact.millijoules,
+                   "microamp_hours": impact.microamp_hours,
+                   "runs_per_charge": impact.runs_per_charge()}
+            for name, impact in impacts.items()},
+    }
+    return text, payload
 
 
-def _command_concurrency(args: argparse.Namespace) -> int:
+def _build_concurrency(args: argparse.Namespace) -> CommandOutput:
     use_case = _resolve_use_case(args)
     run = run_modeled(use_case, seed=args.seed)
     model = PerformanceModel()
     rows = []
+    outcomes = {}
     for profile in PAPER_PROFILES:
         result = analyze_concurrency(model.evaluate(run.trace, profile),
                                      overlap=args.overlap)
+        outcomes[profile.name] = result
         rows.append((
             profile.name, format_ms(result.wall_clock_ms),
             format_ms(result.cpu_busy_ms),
             "%.1f%%" % (100.0 * result.cpu_freed_fraction),
         ))
-    print(format_table(
+    text = format_table(
         ("architecture", "wall clock [ms]", "CPU busy [ms]",
          "CPU freed"),
         rows, title="%s: offload concurrency (overlap %.2f)"
-        % (use_case.name, args.overlap)))
-    return 0
+        % (use_case.name, args.overlap))
+    return text, {"overlap": args.overlap, "architectures": outcomes}
 
 
-def _command_resilience(args: argparse.Namespace) -> int:
-    try:
-        loss_rates = tuple(float(part)
-                           for part in args.loss_rates.split(","))
-        result = resilience.generate(seed=args.seed,
-                                     loss_rates=loss_rates,
-                                     max_attempts=args.max_attempts)
-    except ValueError as error:
-        print("error: %s" % error, file=sys.stderr)
-        return 2
-    print(result.render())
-    return 0
+def _build_resilience(args: argparse.Namespace) -> CommandOutput:
+    loss_rates = tuple(float(part)
+                       for part in args.loss_rates.split(","))
+    result = resilience.generate(seed=args.seed,
+                                 loss_rates=loss_rates,
+                                 max_attempts=args.max_attempts)
+    lines = [result.render()]
+    lines.extend(_export_scenario_trace(args, "lossy-registration",
+                                        args.seed))
+    return "\n".join(lines), result
 
 
-def _command_durability(args: argparse.Namespace) -> int:
-    try:
-        journal_lengths = tuple(int(part)
-                                for part in args.journal_lengths.split(","))
-        result = durability.generate(seed=args.seed,
-                                     journal_lengths=journal_lengths,
-                                     rsa_bits=args.rsa_bits)
-    except ValueError as error:
-        print("error: %s" % error, file=sys.stderr)
-        return 2
-    print(result.render())
-    return 0
+def _build_durability(args: argparse.Namespace) -> CommandOutput:
+    journal_lengths = tuple(int(part)
+                            for part in args.journal_lengths.split(","))
+    result = durability.generate(seed=args.seed,
+                                 journal_lengths=journal_lengths,
+                                 rsa_bits=args.rsa_bits)
+    lines = [result.render()]
+    lines.extend(_export_scenario_trace(args, "durable", args.seed,
+                                        rsa_bits=args.rsa_bits))
+    return "\n".join(lines), result
 
 
-def _command_fleet(args: argparse.Namespace) -> int:
-    try:
-        analysis = fleet.generate(
-            seed=args.seed, devices=args.devices, workers=args.workers,
-            arrival_model=args.arrival, window_seconds=args.window,
-            lossy_fraction=args.lossy_fraction,
-            loss_rate=args.loss_rate, shard_size=args.shard_size,
-            rsa_bits=args.rsa_bits, journaled=args.journaled,
-            crash_rate=args.crash_rate)
-    except ValueError as error:
-        print("error: %s" % error, file=sys.stderr)
-        return 2
-    print(analysis.render())
-    return 0
+def _build_fleet(args: argparse.Namespace) -> CommandOutput:
+    analysis = fleet.generate(
+        seed=args.seed, devices=args.devices, workers=args.workers,
+        arrival_model=args.arrival, window_seconds=args.window,
+        lossy_fraction=args.lossy_fraction,
+        loss_rate=args.loss_rate, shard_size=args.shard_size,
+        rsa_bits=args.rsa_bits, journaled=args.journaled,
+        crash_rate=args.crash_rate)
+    lines = [analysis.render()]
+    if args.metrics:
+        write_metrics(analysis.result.metrics, args.metrics)
+        lines.append("merged fleet metrics written to %s" % args.metrics)
+    lines.extend(_export_scenario_trace(
+        args, "durable" if args.journaled else "full",
+        args.seed + "/device", rsa_bits=args.rsa_bits))
+    return "\n".join(lines), analysis
+
+
+def _build_trace(args: argparse.Namespace) -> CommandOutput:
+    tracer = Tracer(profile=_PROFILES[args.arch], actor="terminal")
+    run_scenario(args.scenario, tracer, seed=args.seed,
+                 rsa_bits=args.rsa_bits)
+    output = args.output or "repro-%s.trace.json" % args.scenario
+    metrics_path = args.metrics or "repro-%s.metrics.json" % args.scenario
+    write_chrome(tracer, output)
+    write_metrics(tracer.metrics, metrics_path)
+    profile = _PROFILES[args.arch]
+    total_ms = tracer.now / profile.clock_hz * 1000.0
+    lines = [
+        "%s scenario (seed %r, arch %s): %d spans, %d events, "
+        "%d cycles (%.1f ms)"
+        % (args.scenario, args.seed, args.arch, len(tracer.spans),
+           len(tracer.events), tracer.now, total_ms),
+        "Chrome trace written to %s" % output,
+        "metrics written to %s" % metrics_path,
+    ]
+    payload = {"scenario": args.scenario, "seed": args.seed,
+               "arch": args.arch, "rsa_bits": args.rsa_bits,
+               "output": output, "metrics_path": metrics_path}
+    payload.update(_trace_summary_payload(tracer))
+    return "\n".join(lines), payload
 
 
 def _command_report(args: argparse.Namespace) -> int:
@@ -246,63 +416,75 @@ def build_parser() -> argparse.ArgumentParser:
     )
     subparsers = parser.add_subparsers(dest="command", required=True)
 
+    def analysis_parser(name: str, help_text: str,
+                        build: Callable[[argparse.Namespace],
+                                        CommandOutput]
+                        ) -> argparse.ArgumentParser:
+        sub = subparsers.add_parser(name, help=help_text)
+        sub.add_argument("--json", action="store_true",
+                         help="emit machine-readable JSON instead of "
+                              "the text rendering")
+        sub.set_defaults(handler=lambda args, build=build:
+                         _analysis_command(args, build))
+        return sub
+
     for name in _ARTIFACTS:
-        sub = subparsers.add_parser(
-            name, help="regenerate paper artifact %r" % name)
-        sub.set_defaults(
-            handler=lambda args, name=name: _command_artifact(name, args))
+        analysis_parser(name, "regenerate paper artifact %r" % name,
+                        lambda args, name=name:
+                        _build_artifact(name, args))
 
-    sub = subparsers.add_parser("all",
-                                help="regenerate every paper artifact")
-    sub.set_defaults(handler=_command_all)
+    analysis_parser("all", "regenerate every paper artifact",
+                    _build_all)
 
-    sub = subparsers.add_parser("run", help="price a workload")
+    sub = analysis_parser("run", "price a workload", _build_run)
     _add_workload_arguments(sub)
-    sub.add_argument("--arch", choices=("SW", "SW/HW", "HW"),
+    sub.add_argument("--arch", choices=tuple(_PROFILES),
                      default="SW", help="architecture for "
-                                        "--export-breakdown")
+                                        "--export-breakdown/--trace")
     sub.add_argument("--export-trace", metavar="PATH", default=None)
     sub.add_argument("--export-breakdown", metavar="PATH", default=None)
-    sub.set_defaults(handler=_command_run)
+    sub.add_argument("--trace", metavar="PATH", default=None,
+                     help="write a Chrome trace of the priced workload "
+                          "on the cycle timeline")
 
-    sub = subparsers.add_parser("pareto",
-                                help="gate/time design-space frontier")
+    sub = analysis_parser("pareto", "gate/time design-space frontier",
+                          _build_pareto)
     _add_workload_arguments(sub)
     sub.add_argument("--objective", choices=("time", "energy"),
                      default="time")
     sub.add_argument("--aes-kgates", type=float, default=25.0)
     sub.add_argument("--sha1-kgates", type=float, default=20.0)
     sub.add_argument("--rsa-kgates", type=float, default=100.0)
-    sub.set_defaults(handler=_command_pareto)
 
-    sub = subparsers.add_parser("battery",
-                                help="battery-life impact per "
-                                     "architecture")
+    sub = analysis_parser("battery",
+                          "battery-life impact per architecture",
+                          _build_battery)
     _add_workload_arguments(sub)
     sub.add_argument("--capacity-mah", type=float, default=850.0)
-    sub.set_defaults(handler=_command_battery)
 
-    sub = subparsers.add_parser("concurrency",
-                                help="CPU-busy vs wall-clock per "
-                                     "architecture")
+    sub = analysis_parser("concurrency",
+                          "CPU-busy vs wall-clock per architecture",
+                          _build_concurrency)
     _add_workload_arguments(sub)
     sub.add_argument("--overlap", type=float, default=1.0,
                      help="macro/CPU overlap factor in [0, 1]")
-    sub.set_defaults(handler=_command_concurrency)
 
-    sub = subparsers.add_parser("resilience",
-                                help="expected retry overhead on a "
-                                     "lossy bearer")
+    sub = analysis_parser("resilience",
+                          "expected retry overhead on a lossy bearer",
+                          _build_resilience)
     sub.add_argument("--seed", default=DEFAULT_SEED)
     sub.add_argument("--loss-rates", default="0,0.05,0.1,0.2,0.4",
                      help="comma-separated per-transmission loss rates")
     sub.add_argument("--max-attempts", type=int,
                      default=resilience.DEFAULT_MAX_ATTEMPTS)
-    sub.set_defaults(handler=_command_resilience)
+    sub.add_argument("--trace", metavar="PATH", default=None,
+                     help="write a Chrome trace of one lossy "
+                          "registration at this seed")
 
-    sub = subparsers.add_parser("durability",
-                                help="write-ahead journal overhead and "
-                                     "power-loss recovery cost")
+    sub = analysis_parser("durability",
+                          "write-ahead journal overhead and "
+                          "power-loss recovery cost",
+                          _build_durability)
     sub.add_argument("--seed", default=DEFAULT_SEED)
     sub.add_argument("--journal-lengths",
                      default=",".join(str(n) for n in
@@ -311,11 +493,14 @@ def build_parser() -> argparse.ArgumentParser:
                           "for the recovery projection")
     sub.add_argument("--rsa-bits", type=int, default=1024,
                      help="modulus size for the calibration run")
-    sub.set_defaults(handler=_command_durability)
+    sub.add_argument("--trace", metavar="PATH", default=None,
+                     help="write a Chrome trace of one journaled "
+                          "run with recovery at this seed")
 
-    sub = subparsers.add_parser("fleet",
-                                help="simulate a large device "
-                                     "population against one RI")
+    sub = analysis_parser("fleet",
+                          "simulate a large device population "
+                          "against one RI",
+                          _build_fleet)
     sub.add_argument("--seed", default=DEFAULT_SEED)
     sub.add_argument("--devices", type=int,
                      default=fleet.REPORT_DEVICES,
@@ -343,7 +528,31 @@ def build_parser() -> argparse.ArgumentParser:
     sub.add_argument("--crash-rate", type=float, default=0.0,
                      help="per-device power-loss probability (requires "
                           "--journaled)")
-    sub.set_defaults(handler=_command_fleet)
+    sub.add_argument("--metrics", metavar="PATH", default=None,
+                     help="write the merged fleet metrics registry "
+                          "as JSON")
+    sub.add_argument("--trace", metavar="PATH", default=None,
+                     help="write a Chrome trace of one representative "
+                          "device at this seed")
+
+    sub = analysis_parser("trace",
+                          "trace a named scenario on the cycle "
+                          "timeline and export it",
+                          _build_trace)
+    sub.add_argument("--scenario", choices=tuple(SCENARIOS),
+                     default="registration",
+                     help="named scenario from repro.usecases.tracing")
+    sub.add_argument("--seed", default=DEFAULT_SEED)
+    sub.add_argument("--arch", choices=tuple(_PROFILES), default="SW",
+                     help="architecture profile pricing the timeline")
+    sub.add_argument("--rsa-bits", type=int, default=1024,
+                     help="modulus size for the traced world")
+    sub.add_argument("--output", metavar="PATH", default=None,
+                     help="Chrome trace-event JSON path (default "
+                          "repro-<scenario>.trace.json)")
+    sub.add_argument("--metrics", metavar="PATH", default=None,
+                     help="metrics registry JSON path (default "
+                          "repro-<scenario>.metrics.json)")
 
     sub = subparsers.add_parser("selftest",
                                 help="run the crypto known-answer "

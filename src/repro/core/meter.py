@@ -43,6 +43,7 @@ from ..crypto import rng as rng_mod
 from ..crypto.hmac import hmac_sha1, verify_hmac_sha1
 from ..crypto.sha1 import DIGEST_SIZE as _SHA1_DIGEST_SIZE
 from ..crypto.sha1 import sha1 as _sha1
+from ..obs.tracer import NULL_TRACER
 from .costs import CostOptions
 from .trace import Algorithm, OperationRecord, OperationTrace, Phase
 
@@ -67,8 +68,10 @@ class PlainCrypto:
     construction, so complete protocol runs are reproducible.
     """
 
-    def __init__(self, rng: Optional[rng_mod.HmacDrbg] = None) -> None:
+    def __init__(self, rng: Optional[rng_mod.HmacDrbg] = None,
+                 tracer=None) -> None:
         self.rng = rng if rng is not None else rng_mod.default_rng()
+        self.tracer = tracer if tracer is not None else NULL_TRACER
 
     # -- randomness ------------------------------------------------------
     def random_bytes(self, length: int) -> bytes:
@@ -159,8 +162,9 @@ class MeteredCrypto(PlainCrypto):
 
     def __init__(self, rng: Optional[rng_mod.HmacDrbg] = None,
                  options: CostOptions = CostOptions(),
-                 default_phase: Phase = Phase.REGISTRATION) -> None:
-        super().__init__(rng)
+                 default_phase: Phase = Phase.REGISTRATION,
+                 tracer=None) -> None:
+        super().__init__(rng, tracer=tracer)
         self.options = options
         self.trace = OperationTrace()
         self._phase = default_phase
@@ -188,10 +192,12 @@ class MeteredCrypto(PlainCrypto):
 
     def _record(self, algorithm: Algorithm, invocations: int, blocks: int,
                 label: str) -> None:
-        self.trace.append(OperationRecord(
+        record = OperationRecord(
             algorithm=algorithm, phase=self._phase,
             invocations=invocations, blocks=blocks, label=label,
-        ))
+        )
+        self.trace.append(record)
+        self.tracer.on_record(record)
 
     # -- hashing and MACs ------------------------------------------------
     def sha1(self, data: bytes, label: str = "sha1") -> bytes:

@@ -27,6 +27,7 @@ from typing import Iterable, Optional
 
 from ..core.trace import Phase
 from ..crypto.errors import CryptoError
+from ..obs.tracer import NULL_TRACER
 from .certificates import Certificate, verify_certificate
 from ..crypto.kem import KemCiphertext
 from .clock import SimulationClock, YEAR
@@ -104,6 +105,7 @@ class DRMAgent:
         self.trust_anchors = list(trust_anchors)
         self.crypto = crypto
         self.clock = clock
+        self.tracer = getattr(crypto, "tracer", NULL_TRACER)
         self.verify_dcf_on_install = verify_dcf_on_install
         self.kdev_optimization = kdev_optimization
         self._time_offset = clock_skew_seconds
@@ -121,6 +123,7 @@ class DRMAgent:
                 injector=storage_injector)
         else:
             self.storage = DeviceStorage()
+        self.storage.tracer = self.tracer
 
     def recover_storage(self) -> RecoveryReport:
         """Rebuild durable storage from its flash region after power loss.
@@ -136,6 +139,13 @@ class DRMAgent:
             )
         self.storage, report = TransactionalStorage.recover(
             self.crypto, self.secure.kdev, self.storage.journal.flash)
+        self.storage.tracer = self.tracer
+        self.tracer.event(
+            "storage.recovered", track="store",
+            records_scanned=report.records_scanned,
+            transactions_applied=report.transactions_applied,
+            transactions_discarded=report.transactions_discarded,
+            torn_octets_discarded=report.torn_octets_discarded)
         return report
 
     def drm_time(self) -> int:
@@ -156,7 +166,9 @@ class DRMAgent:
         Returns the RI Context that later phases require. All terminal
         crypto is tagged ``Phase.REGISTRATION``.
         """
-        with self.crypto.in_phase(Phase.REGISTRATION):
+        with self.crypto.in_phase(Phase.REGISTRATION), \
+                self.tracer.span("agent.register",
+                                 track=Phase.REGISTRATION.value):
             hello = DeviceHello(
                 version=ROAP_VERSION, device_id=self.device_id,
                 supported_algorithms=DEFAULT_ALGORITHMS,
@@ -254,7 +266,10 @@ class DRMAgent:
         a session layer re-register and retry instead of failing
         opaquely. All terminal crypto is tagged ``Phase.ACQUISITION``.
         """
-        with self.crypto.in_phase(Phase.ACQUISITION):
+        with self.crypto.in_phase(Phase.ACQUISITION), \
+                self.tracer.span("agent.acquire",
+                                 track=Phase.ACQUISITION.value,
+                                 ro_id=ro_id):
             context = self.storage.get_ri_context(rights_issuer.ri_id,
                                                   self.drm_time())
             device_nonce = new_nonce(self.crypto)
@@ -306,7 +321,10 @@ class DRMAgent:
             dcfs = list(dcf.containers)
         else:
             dcfs = list(dcf)
-        with self.crypto.in_phase(Phase.INSTALLATION):
+        with self.crypto.in_phase(Phase.INSTALLATION), \
+                self.tracer.span("agent.install",
+                                 track=Phase.INSTALLATION.value,
+                                 ro_id=protected_ro.ro.ro_id):
             ro = protected_ro.ro
             by_content = {d.content_id: d for d in dcfs}
             missing = [a.content_id for a in ro.assets
@@ -417,7 +435,11 @@ class DRMAgent:
         consumed (count decrement, first-use timestamps). All terminal
         crypto is tagged ``Phase.CONSUMPTION``.
         """
-        with self.crypto.in_phase(Phase.CONSUMPTION):
+        with self.crypto.in_phase(Phase.CONSUMPTION), \
+                self.tracer.span("agent.consume",
+                                 track=Phase.CONSUMPTION.value,
+                                 content_id=content_id,
+                                 permission=permission.value):
             installed = self.storage.find_ro_for_content(content_id)
             dcf = self.storage.get_dcf(content_id)
             evaluator = RightsEvaluator(installed.ro.rights)

@@ -52,6 +52,7 @@ from typing import Any, Callable, List, Optional, Tuple
 from ..crypto.errors import SignatureError
 # repro: allow[REP201] -- jitter derivation is session bookkeeping, intentionally unpriced like the DRBG (see repro.core.meter); routing it through the provider would distort the paper's Table 1 costs
 from ..crypto.sha1 import sha1
+from ..obs.tracer import NULL_TRACER
 from .errors import (ChannelError, ContextExpiredError, DRMError,
                      NonceMismatchError, TrustError, WireDecodeError)
 
@@ -175,6 +176,7 @@ class RoapSession:
         self.channel = channel
         self.policy = policy
         self.name = name
+        self.tracer = getattr(agent, "tracer", NULL_TRACER)
         self.transitions: List[Transition] = []
         self.state = SessionState.IDLE
         self._enter(SessionState.IDLE, "session created")
@@ -224,13 +226,17 @@ class RoapSession:
                         "%s attempt %d/%d"
                         % (label, attempts, self.policy.max_attempts))
             try:
-                value = step()
+                with self.tracer.span("session.%s" % label, track="roap",
+                                      attempt=attempts):
+                    value = step()
             except ContextExpiredError as exc:
                 if not reregister_on_expiry or reregistrations >= 1:
                     return self._abort(label, started, attempts,
                                        reregistrations, str(exc))
                 reregistrations += 1
                 self._enter(SessionState.REREGISTERING, str(exc))
+                self.tracer.event("session.reregister", track="roap",
+                                  label=label, attempt=attempts)
                 recovery = self._drive(
                     "register",
                     lambda: self.agent.register(self.channel))
@@ -241,6 +247,9 @@ class RoapSession:
                 continue
             except RETRYABLE_ERRORS as exc:
                 last_error = exc
+                self.tracer.event("session.retry", track="roap",
+                                  label=label, attempt=attempts,
+                                  error=type(exc).__name__)
                 if attempts >= self.policy.max_attempts:
                     break
                 delay = self.policy.backoff_seconds(
@@ -248,6 +257,8 @@ class RoapSession:
                 self._enter(SessionState.BACKOFF,
                             "retry in %d s after %s: %s"
                             % (delay, type(exc).__name__, exc))
+                self.tracer.event("session.backoff", track="roap",
+                                  label=label, delay_seconds=delay)
                 self.clock.advance(delay)
             except DRMError as exc:
                 # Semantic refusal — retrying cannot change the answer.
@@ -271,6 +282,8 @@ class RoapSession:
     def _abort(self, label: str, started: int, attempts: int,
                reregistrations: int, reason: str) -> SessionOutcome:
         self._enter(SessionState.ABORTED, "%s: %s" % (label, reason))
+        self.tracer.event("session.abort", track="roap", label=label,
+                          attempts=attempts, reason=reason)
         return SessionOutcome(
             outcome=Outcome.ABORTED, attempts=attempts, reason=reason,
             reregistrations=reregistrations,

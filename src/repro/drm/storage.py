@@ -16,6 +16,7 @@ from dataclasses import dataclass, field
 from typing import Dict, Iterator, List, Optional, Tuple
 
 from ..crypto.rsa import RSAPrivateKey
+from ..obs.tracer import NULL_TRACER
 from .certificates import Certificate
 from .dcf import DCF
 from .errors import (ContextExpiredError, NotRegisteredError,
@@ -92,6 +93,11 @@ class DeviceStorage:
     _txn: Optional[List[Tuple[str, tuple]]] = field(
         default=None, init=False, repr=False, compare=False)
 
+    #: Observability sink; a plain class attribute (not a dataclass
+    #: field) so pre-existing construction sites stay untouched. The
+    #: owning agent points this at its tracer.
+    tracer = NULL_TRACER
+
     # -- transaction machinery ---------------------------------------------
     @contextmanager
     def transaction(self) -> Iterator["DeviceStorage"]:
@@ -105,18 +111,23 @@ class DeviceStorage:
         if self._txn is not None:
             yield self
             return
-        self._begin()
-        self._txn = []
-        try:
-            yield self
-        except BaseException:
-            self._txn = None
-            raise
-        ops, self._txn = self._txn, None
-        if ops:
-            self._precommit()
-        for op, args in ops:
-            getattr(self, "_do_" + op)(*args)
+        with self.tracer.span("storage.transaction", track="store") as span:
+            self._begin()
+            self._txn = []
+            try:
+                yield self
+            except BaseException:
+                self._txn = None
+                span.set("outcome", "rolled-back")
+                raise
+            ops, self._txn = self._txn, None
+            span.set("operations", len(ops))
+            if ops:
+                self._precommit()
+                self.tracer.event("storage.commit", track="store",
+                                  operations=len(ops))
+            for op, args in ops:
+                getattr(self, "_do_" + op)(*args)
 
     def _begin(self) -> None:
         """Hook: a new outermost transaction opened."""

@@ -1,0 +1,70 @@
+"""REP6xx — observability discipline in library code.
+
+The tracing layer (``repro.obs``) exists so the library can report what
+happened without side channels: spans and events on the virtual cycle
+timeline, counters in a mergeable registry. Ad-hoc ``print()`` calls or
+``logging`` handlers bypass that contract — they interleave with the
+CLI's rendered artifacts, are invisible to exporters, and (for
+``logging``) drag wall-clock timestamps into otherwise deterministic
+output. Library layers must route diagnostics through ``repro.obs``
+events; only the CLI and the lint tool's own reporters talk to stdout,
+and they are exempted via ``[tool.repro-lint.scopes]``.
+"""
+
+from typing import Iterator, Tuple
+
+from .base import RawFinding, Rule
+
+#: Scope shared by the family: every library layer. The CLI
+#: (``repro.cli``) and the lint tool's reporters (``repro.lint``) are
+#: deliberately absent — rendering text for humans is their job.
+_LIBRARY_SCOPES: Tuple[str, ...] = (
+    "repro.core", "repro.crypto", "repro.drm", "repro.store",
+    "repro.usecases", "repro.analysis", "repro.obs",
+)
+
+
+class NoPrintRule(Rule):
+    """REP601: no ``print()`` in library code."""
+
+    id = "REP601"
+    title = ("print() in library code; emit a repro.obs event (or "
+             "return the text) instead")
+    default_scopes = _LIBRARY_SCOPES
+
+    def check(self, ctx, project) -> Iterator[RawFinding]:
+        for node in ctx.calls():
+            dotted = ctx.summary.dotted_call_path(node)
+            if dotted in ("print", "builtins.print"):
+                yield self.finding(
+                    node, "print() bypasses the tracing layer; emit a "
+                          "Tracer event or return the rendering")
+
+
+class NoLoggingRule(Rule):
+    """REP602: no ``logging`` in library code.
+
+    Flagging the import (rather than each call) catches handler setup,
+    ``getLogger`` aliases, and module-level loggers with one finding per
+    module.
+    """
+
+    id = "REP602"
+    title = ("logging import in library code; route diagnostics "
+             "through repro.obs events")
+
+    default_scopes = _LIBRARY_SCOPES
+
+    def check(self, ctx, project) -> Iterator[RawFinding]:
+        for imported in sorted(ctx.summary.imports.values(),
+                               key=lambda name: (name.line, name.alias)):
+            if imported.module == "logging" \
+                    or imported.module.startswith("logging."):
+                yield RawFinding(
+                    line=imported.line, column=0,
+                    message="import of %s in library code; wall-clock "
+                            "log records break determinism — use "
+                            "repro.obs events" % imported.module)
+
+
+RULES = (NoPrintRule, NoLoggingRule)

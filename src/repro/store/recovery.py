@@ -18,6 +18,7 @@ same flash twice yields bit-identical state.
 
 from dataclasses import dataclass
 
+from ..obs.tracer import NULL_TRACER
 from .journal import Journal
 
 
@@ -53,20 +54,28 @@ class Recovery:
         provider, so the cost of recovery is metered like the writes
         that preceded it.
         """
-        records, valid_octets = self.journal.scan()
-        committed = {r.txn for r in records if r.is_commit}
-        mutated = {r.txn for r in records if not r.is_commit}
-        for record in records:
-            if not record.is_commit and record.txn in committed:
-                storage.replay_record(record.op, record.args)
-        self.last_txn = max((r.txn for r in records), default=0)
-        if hasattr(storage, "_txn_id"):
-            storage._txn_id = max(storage._txn_id, self.last_txn)
-        torn = len(self.journal.flash) - valid_octets
-        self.journal.flash.truncate(valid_octets)
-        return RecoveryReport(
-            records_scanned=len(records),
-            transactions_applied=len(mutated & committed),
-            transactions_discarded=len(mutated - committed),
-            torn_octets_discarded=torn,
-        )
+        tracer = getattr(storage, "tracer", NULL_TRACER)
+        with tracer.span("recovery.replay", track="store") as span:
+            records, valid_octets = self.journal.scan()
+            committed = {r.txn for r in records if r.is_commit}
+            mutated = {r.txn for r in records if not r.is_commit}
+            for record in records:
+                if not record.is_commit and record.txn in committed:
+                    storage.replay_record(record.op, record.args)
+            self.last_txn = max((r.txn for r in records), default=0)
+            if hasattr(storage, "_txn_id"):
+                storage._txn_id = max(storage._txn_id, self.last_txn)
+            torn = len(self.journal.flash) - valid_octets
+            self.journal.flash.truncate(valid_octets)
+            report = RecoveryReport(
+                records_scanned=len(records),
+                transactions_applied=len(mutated & committed),
+                transactions_discarded=len(mutated - committed),
+                torn_octets_discarded=torn,
+            )
+            span.set("records_scanned", report.records_scanned)
+            span.set("transactions_applied", report.transactions_applied)
+            span.set("transactions_discarded",
+                     report.transactions_discarded)
+            span.set("torn_octets_discarded", report.torn_octets_discarded)
+        return report

@@ -28,7 +28,8 @@ from ..drm.rel import PermissionType, RightsState
 from ..drm.ro import InstalledRightsObject
 from ..drm.roap.wire import rights_object_from_payload
 from ..drm.storage import DeviceStorage, DomainContext, RIContext
-from .crash import CrashInjector, JournalCorruptError
+from ..obs.tracer import NULL_TRACER
+from .crash import CrashInjector, JournalCorruptError, PowerLossError
 from .journal import Flash, Journal
 
 
@@ -167,6 +168,7 @@ class TransactionalStorage(DeviceStorage):
                  flash: Optional[Flash] = None,
                  injector: Optional[CrashInjector] = None) -> None:
         super().__init__()
+        self.tracer = getattr(crypto, "tracer", NULL_TRACER)
         self.journal = Journal(crypto, kdev, flash=flash,
                                injector=injector)
         self._txn_id = 0
@@ -177,6 +179,8 @@ class TransactionalStorage(DeviceStorage):
 
     def _precommit(self) -> None:
         self.journal.commit(self._txn_id)
+        self.tracer.event("journal.commit", track="store",
+                          txn_id=self._txn_id)
 
     def _mutate(self, op: str, *args) -> None:
         if self._txn is None:
@@ -185,7 +189,12 @@ class TransactionalStorage(DeviceStorage):
             with self.transaction():
                 self._mutate(op, *args)
             return
-        self.journal.append(self._txn_id, op, encode_op(op, args))
+        try:
+            self.journal.append(self._txn_id, op, encode_op(op, args))
+        except PowerLossError:
+            self.tracer.event("storage.crash", track="store",
+                              txn_id=self._txn_id, op=op)
+            raise
         self._txn.append((op, args))
 
     # -- recovery ----------------------------------------------------------

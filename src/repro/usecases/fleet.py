@@ -38,6 +38,7 @@ identically.
 
 import multiprocessing
 import random
+from collections import Counter
 from dataclasses import dataclass, field
 from functools import lru_cache
 from typing import Dict, List, Optional, Tuple
@@ -49,6 +50,7 @@ from ..core.stats import StatsSummary, StreamingStats
 from ..core.trace import Phase
 from ..drm.roap.wire import WireChannel
 from ..drm.rel import play_count
+from ..obs.metrics import MetricsRegistry, merge_registries
 from .catalog import ringtone
 from .durability import DurabilityTemplates, build_durability_templates
 from .runner import run_functional
@@ -470,6 +472,39 @@ class FleetAccumulator:
                               + other.recovery_records),
         )
 
+    def metrics(self) -> MetricsRegistry:
+        """This aggregate as a :class:`~repro.obs.metrics.MetricsRegistry`.
+
+        The mapping is linear in the accumulator (counters sum,
+        histograms union), so registries built per shard and merged
+        equal the registry of the merged accumulator — the fleet's
+        bit-identical-for-any-worker-count contract carries over to the
+        metrics export unchanged.
+        """
+        registry = MetricsRegistry()
+        registry.counter("fleet.devices", self.devices)
+        registry.counter("fleet.requests", self.requests)
+        registry.counter("fleet.retries", self.retries)
+        registry.counter("fleet.failed_registrations",
+                         self.failed_registrations)
+        registry.counter("fleet.failed_acquisitions",
+                         self.failed_acquisitions)
+        registry.counter("fleet.accesses", self.accesses)
+        registry.counter("fleet.recoveries", self.recoveries)
+        registry.counter("fleet.recovery_records", self.recovery_records)
+        for family in sorted(self.family_devices):
+            registry.counter("fleet.family.%s" % family,
+                             self.family_devices[family])
+        for bin_index in sorted(self.arrival_requests):
+            registry.counter("fleet.arrivals.bin.%03d" % bin_index,
+                             self.arrival_requests[bin_index])
+        registry.histograms["fleet.octets"] = StreamingStats(
+            counts=Counter(self.octets.counts))
+        for name in sorted(self.cycles):
+            registry.histograms["fleet.cycles.%s" % name] = \
+                StreamingStats(counts=Counter(self.cycles[name].counts))
+        return registry
+
     def peak_request_bin(self) -> Tuple[Optional[int], int]:
         """(bin index, requests) of the busiest arrival slot."""
         if not self.arrival_requests:
@@ -532,6 +567,9 @@ class FleetResult:
     templates: CostTemplates
     accumulator: FleetAccumulator
     workers: int
+    #: Per-shard registries merged in shard order; equals the merged
+    #: accumulator's own :meth:`FleetAccumulator.metrics` exactly.
+    metrics: Optional[MetricsRegistry] = None
 
     def architecture_summaries(self) -> List[ArchitectureFleetSummary]:
         """Cycle statistics per paper architecture, in plot order."""
@@ -598,5 +636,8 @@ def run_fleet(config: FleetConfig, workers: int = 1,
     accumulator = FleetAccumulator()
     for shard in shard_results:
         accumulator = accumulator.merge(shard)
+    metrics = merge_registries(shard.metrics()
+                               for shard in shard_results)
     return FleetResult(config=config, templates=templates,
-                       accumulator=accumulator, workers=workers)
+                       accumulator=accumulator, workers=workers,
+                       metrics=metrics)

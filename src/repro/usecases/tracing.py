@@ -1,0 +1,132 @@
+"""Named traced scenarios for ``python -m repro trace``.
+
+Each scenario builds a fresh, fully seeded world with a
+:class:`~repro.obs.tracer.Tracer` attached to the terminal's crypto
+provider, drives one well-defined protocol workload, and hands back the
+world — the caller reads the populated tracer (spans, events, metrics)
+and the metered :class:`~repro.core.trace.OperationTrace` off it. Fresh
+worlds only: the analysis layer's memoized runs must never observe a
+tracer, so traced runs share nothing with them.
+
+Scenario timestamps live on the virtual cycle timeline of the
+architecture profile the tracer prices under; no wall-clock anywhere, so
+the same seed always produces byte-identical exports.
+"""
+
+from typing import Callable, Dict, Tuple
+
+from ..drm.rel import play_count
+from ..drm.roap.faults import FaultPlan, FaultyChannel
+from ..drm.session import RetryPolicy, RoapSession
+from ..obs.tracer import Tracer
+from .scenario import KIB
+from .world import DRMWorld, RSA_BITS
+
+#: Content the scenarios publish: ringtone-class, deterministic bytes.
+CONTENT_ID = "cid:trace"
+CONTENT_OCTETS = 30 * KIB
+RO_ID = "ro:trace"
+
+#: Loss rate the ``lossy-registration`` scenario injects.
+LOSSY_RATE = 0.4
+
+#: Accesses the ``full`` and ``durable`` scenarios perform.
+FULL_ACCESSES = 3
+
+
+def _seeded_world(tracer: Tracer, seed: str, rsa_bits: int,
+                  **kwargs) -> Tuple[DRMWorld, object]:
+    world = DRMWorld.create(seed=seed, rsa_bits=rsa_bits, tracer=tracer,
+                            **kwargs)
+    dcf = world.ci.publish(CONTENT_ID, "audio/mpeg",
+                           b"\x5a" * CONTENT_OCTETS,
+                           "http://ri.example/shop")
+    world.ri.add_offer(RO_ID, world.ci.negotiate_license(CONTENT_ID),
+                       play_count(1_000))
+    return world, dcf
+
+
+def _registration(tracer: Tracer, seed: str, rsa_bits: int) -> DRMWorld:
+    world, _ = _seeded_world(tracer, seed, rsa_bits)
+    world.agent.register(world.ri)
+    return world
+
+
+def _acquisition(tracer: Tracer, seed: str, rsa_bits: int) -> DRMWorld:
+    world, _ = _seeded_world(tracer, seed, rsa_bits)
+    world.agent.register(world.ri)
+    world.agent.acquire(world.ri, RO_ID)
+    return world
+
+
+def _install(tracer: Tracer, seed: str, rsa_bits: int) -> DRMWorld:
+    world, dcf = _seeded_world(tracer, seed, rsa_bits)
+    world.agent.register(world.ri)
+    protected = world.agent.acquire(world.ri, RO_ID)
+    world.agent.install(protected, dcf)
+    return world
+
+
+def _consume(tracer: Tracer, seed: str, rsa_bits: int) -> DRMWorld:
+    world = _install(tracer, seed, rsa_bits)
+    world.agent.consume(CONTENT_ID)
+    return world
+
+
+def _full(tracer: Tracer, seed: str, rsa_bits: int) -> DRMWorld:
+    world = _install(tracer, seed, rsa_bits)
+    for _ in range(FULL_ACCESSES):
+        world.agent.consume(CONTENT_ID)
+    return world
+
+
+def _lossy_registration(tracer: Tracer, seed: str,
+                        rsa_bits: int) -> DRMWorld:
+    world, _ = _seeded_world(tracer, seed, rsa_bits)
+    plan = FaultPlan.lossy("%s/lossy" % seed, LOSSY_RATE)
+    channel = FaultyChannel(world.ri, plan, clock=world.clock)
+    session = RoapSession(world.agent, channel,
+                          RetryPolicy(max_attempts=8),
+                          name="%s/session" % seed)
+    session.register()
+    return world
+
+
+def _durable(tracer: Tracer, seed: str, rsa_bits: int) -> DRMWorld:
+    world, dcf = _seeded_world(tracer, seed, rsa_bits, durable=True)
+    world.agent.register(world.ri)
+    protected = world.agent.acquire(world.ri, RO_ID)
+    world.agent.install(protected, dcf)
+    for _ in range(FULL_ACCESSES):
+        world.agent.consume(CONTENT_ID)
+    world.agent.recover_storage()
+    return world
+
+
+#: Scenario name -> runner; ordering is the CLI help ordering.
+SCENARIOS: Dict[str, Callable[[Tracer, str, int], DRMWorld]] = {
+    "registration": _registration,
+    "acquisition": _acquisition,
+    "install": _install,
+    "consume": _consume,
+    "full": _full,
+    "lossy-registration": _lossy_registration,
+    "durable": _durable,
+}
+
+
+def run_scenario(name: str, tracer: Tracer,
+                 seed: str = "repro-trace",
+                 rsa_bits: int = RSA_BITS) -> DRMWorld:
+    """Run one named scenario against ``tracer``; returns its world.
+
+    Raises ``ValueError`` for unknown names so the CLI can report a
+    usage error instead of a traceback.
+    """
+    try:
+        runner = SCENARIOS[name]
+    except KeyError:
+        raise ValueError(
+            "unknown scenario %r (expected one of %s)"
+            % (name, ", ".join(sorted(SCENARIOS)))) from None
+    return runner(tracer, seed, rsa_bits)

@@ -57,7 +57,8 @@ class DRMWorld:
                rsa_bits: int = RSA_BITS,
                clock: Optional[SimulationClock] = None,
                durable: bool = False,
-               storage_injector=None) -> "DRMWorld":
+               storage_injector=None,
+               tracer=None) -> "DRMWorld":
         """Build a deterministic world from ``seed``.
 
         ``metered=True`` gives the agent a :class:`MeteredCrypto` provider
@@ -69,15 +70,20 @@ class DRMWorld:
         the metered trace, which is why the paper-baseline default stays
         volatile. ``storage_injector`` optionally arms a
         :class:`~repro.store.crash.CrashInjector` under that journal.
+        ``tracer`` optionally attaches a :class:`~repro.obs.tracer.Tracer`
+        to the agent's provider — spans/events then cover the terminal's
+        work on the virtual cycle timeline; the default null tracer
+        changes nothing.
         """
         clock = clock if clock is not None else SimulationClock()
         server_crypto = PlainCrypto(HmacDrbg((seed + "/server").encode()))
         if metered:
             agent_crypto: PlainCrypto = MeteredCrypto(
-                HmacDrbg((seed + "/agent").encode()), options=options)
+                HmacDrbg((seed + "/agent").encode()), options=options,
+                tracer=tracer)
         else:
             agent_crypto = PlainCrypto(
-                HmacDrbg((seed + "/agent").encode()))
+                HmacDrbg((seed + "/agent").encode()), tracer=tracer)
 
         ca_keys = generate_keypair(rsa_bits, server_crypto.rng)
         ca = CertificationAuthority("cmla-root", ca_keys, server_crypto,

@@ -330,3 +330,71 @@ def test_docstring_mention_of_allow_syntax_is_not_a_suppression(tmp_path):
         from ..crypto.sha1 import sha1
         '''})
     assert rule_ids(result) == ["REP201"]
+
+
+# -- REP6xx observability ----------------------------------------------------
+
+def test_rep601_flags_print_in_library_code(tmp_path):
+    result = lint_tree(tmp_path, {"repro/drm/agentish.py": """
+        def install(ro):
+            print("installing", ro)
+        """})
+    assert rule_ids(result) == ["REP601"]
+
+
+def test_rep601_flags_builtins_print_alias(tmp_path):
+    result = lint_tree(tmp_path, {"repro/store/j.py": """
+        import builtins
+        def debug(x):
+            builtins.print(x)
+        """})
+    assert rule_ids(result) == ["REP601"]
+
+
+def test_rep601_allows_print_in_cli(tmp_path):
+    result = lint_tree(tmp_path, {"repro/cli.py": """
+        def emit(text):
+            print(text)
+        """})
+    assert "REP601" not in rule_ids(result)
+
+
+def test_rep601_ignores_local_print_method(tmp_path):
+    result = lint_tree(tmp_path, {"repro/drm/r.py": """
+        def render(doc):
+            return doc.print()
+        """})
+    # attribute call on an object is not builtins.print
+    assert "REP601" not in rule_ids(result)
+
+
+def test_rep602_flags_logging_import_in_library_code(tmp_path):
+    result = lint_tree(tmp_path, {"repro/usecases/f.py": """
+        import logging
+        log = logging.getLogger(__name__)
+        """})
+    assert rule_ids(result) == ["REP602"]
+
+
+def test_rep602_flags_from_logging_import(tmp_path):
+    result = lint_tree(tmp_path, {"repro/obs/t.py": """
+        from logging import getLogger
+        log = getLogger(__name__)
+        """})
+    assert rule_ids(result) == ["REP602"]
+
+
+def test_rep602_allows_logging_in_lint_reporters(tmp_path):
+    result = lint_tree(tmp_path, {"repro/lint/reporterish.py": """
+        import logging
+        """})
+    assert "REP602" not in rule_ids(result)
+
+
+def test_rep601_suppression_with_justification(tmp_path):
+    result = lint_tree(tmp_path, {"repro/drm/d.py": """
+        def dump(x):
+            print(x)  # repro: allow[REP601] -- debug hook, never shipped
+        """})
+    assert rule_ids(result) == []
+    assert len(result.suppressed) == 1

@@ -1,0 +1,81 @@
+"""Golden snapshot of a seeded ``python -m repro trace`` run.
+
+The exported Chrome trace is a published artifact: its bytes are pinned
+so that format drift (key order, tid assignment, span args, metadata)
+is caught even when the numbers still reconcile. Regenerate after an
+intentional format change with::
+
+    UPDATE_GOLDEN=1 python -m pytest tests/obs/test_trace_golden.py
+"""
+
+import json
+import os
+import pathlib
+
+from repro.cli import main
+from repro.core.architecture import SW_PROFILE
+from repro.core.model import PerformanceModel
+from repro.obs.export import trace_from_chrome
+
+GOLDEN_DIR = pathlib.Path(__file__).resolve().parent / "golden"
+GOLDEN_TRACE = GOLDEN_DIR / "registration.trace.json"
+
+SEED = "golden-trace"
+ARGS = ("trace", "--scenario", "registration", "--seed", SEED,
+        "--arch", "SW", "--rsa-bits", "512")
+
+
+def export(tmp_path, name):
+    trace_path = tmp_path / ("%s.trace.json" % name)
+    metrics_path = tmp_path / ("%s.metrics.json" % name)
+    code = main(list(ARGS) + ["--output", str(trace_path),
+                              "--metrics", str(metrics_path)])
+    assert code == 0
+    return trace_path, metrics_path
+
+
+def test_trace_matches_golden_snapshot(tmp_path, capsys):
+    trace_path, _ = export(tmp_path, "generated")
+    generated = trace_path.read_bytes()
+    if os.environ.get("UPDATE_GOLDEN"):
+        GOLDEN_DIR.mkdir(exist_ok=True)
+        GOLDEN_TRACE.write_bytes(generated)
+    assert generated == GOLDEN_TRACE.read_bytes(), \
+        "Chrome trace drifted from the golden snapshot; if intentional, " \
+        "regenerate with UPDATE_GOLDEN=1."
+
+
+def test_same_seed_exports_are_byte_identical(tmp_path, capsys):
+    first, first_metrics = export(tmp_path, "a")
+    second, second_metrics = export(tmp_path, "b")
+    assert first.read_bytes() == second.read_bytes()
+    assert first_metrics.read_bytes() == second_metrics.read_bytes()
+
+
+def test_golden_trace_is_valid_chrome_json():
+    document = json.loads(GOLDEN_TRACE.read_text(encoding="utf-8"))
+    events = document["traceEvents"]
+    phases = {entry["ph"] for entry in events}
+    assert phases <= {"M", "X", "i"}
+    assert any(entry["ph"] == "M" and entry["name"] == "process_name"
+               for entry in events)
+    for entry in events:
+        if entry["ph"] == "X":
+            assert isinstance(entry["ts"], int)
+            assert isinstance(entry["dur"], int)
+            assert entry["dur"] >= 0
+    other = document["otherData"]
+    assert other["kind"] == "repro-cycle-trace"
+    assert other["timebase"] == "cycles"
+    assert other["profile"] == "SW"
+
+
+def test_golden_trace_reconciles_with_cost_model():
+    document = json.loads(GOLDEN_TRACE.read_text(encoding="utf-8"))
+    trace = trace_from_chrome(document)
+    breakdown = PerformanceModel().evaluate(trace, SW_PROFILE)
+    assert breakdown.total_cycles == document["otherData"]["total_cycles"]
+    operation_total = sum(
+        entry["dur"] for entry in document["traceEvents"]
+        if entry["ph"] == "X" and entry.get("cat") == "operation")
+    assert operation_total == breakdown.total_cycles

@@ -193,3 +193,98 @@ def test_report(capsys, tmp_path):
     assert "Figure 6" in text and "Figure 7" in text
     assert "Retry overhead under loss" in text
     assert "## Verdict" in text
+
+
+def test_json_flag_on_artifact(capsys):
+    code, out = run_cli(capsys, "table1", "--json")
+    assert code == 0
+    data = json.loads(out)
+    assert data["artifact"] == "table1"
+    assert data["result"]["matches_paper"] is True
+
+
+def test_json_flag_on_run(capsys):
+    code, out = run_cli(capsys, "run", "--json")
+    assert code == 0
+    data = json.loads(out)
+    assert set(data["architectures"]) == {"SW", "SW/HW", "HW"}
+    assert data["architectures"]["SW"]["kind"] == "cost-breakdown"
+
+
+def test_json_flag_on_fleet(capsys):
+    code, out = run_cli(capsys, "fleet", "--devices", "200",
+                        "--rsa-bits", "512", "--shard-size", "100",
+                        "--seed", "cli-fleet-json", "--json")
+    assert code == 0
+    data = json.loads(out)
+    assert data["result"]["metrics"]["kind"] == "metrics-registry"
+    assert data["result"]["metrics"]["counters"]["fleet.devices"] == 200
+
+
+def test_trace_command_writes_chrome_and_metrics(capsys, tmp_path):
+    trace_path = str(tmp_path / "t.trace.json")
+    metrics_path = str(tmp_path / "t.metrics.json")
+    code, out = run_cli(capsys, "trace", "--scenario", "registration",
+                        "--seed", "cli-trace", "--rsa-bits", "512",
+                        "--output", trace_path,
+                        "--metrics", metrics_path)
+    assert code == 0
+    assert "Chrome trace written to" in out
+    with open(trace_path) as handle:
+        document = json.load(handle)
+    assert document["otherData"]["kind"] == "repro-cycle-trace"
+    assert any(entry["ph"] == "X"
+               for entry in document["traceEvents"])
+    with open(metrics_path) as handle:
+        assert json.load(handle)["kind"] == "metrics-registry"
+
+
+def test_trace_command_json_payload(capsys, tmp_path):
+    code, out = run_cli(capsys, "trace", "--scenario", "consume",
+                        "--seed", "cli-trace", "--rsa-bits", "512",
+                        "--output", str(tmp_path / "c.trace.json"),
+                        "--metrics", str(tmp_path / "c.metrics.json"),
+                        "--json")
+    assert code == 0
+    data = json.loads(out)
+    assert data["scenario"] == "consume"
+    assert data["total_cycles"] > 0
+    assert "consumption" in data["cycles_by_track"]
+
+
+def test_run_trace_flag(capsys, tmp_path):
+    trace_path = str(tmp_path / "run.trace.json")
+    code, out = run_cli(capsys, "run", "--use-case", "ringtone",
+                        "--trace", trace_path)
+    assert code == 0
+    assert "cycle trace" in out
+    with open(trace_path) as handle:
+        document = json.load(handle)
+    assert document["otherData"]["kind"] == "repro-cycle-trace"
+
+
+def test_durability_trace_flag(capsys, tmp_path):
+    trace_path = str(tmp_path / "durable.trace.json")
+    code, out = run_cli(capsys, "durability", "--rsa-bits", "512",
+                        "--journal-lengths", "8",
+                        "--seed", "cli-durability",
+                        "--trace", trace_path)
+    assert code == 0
+    assert "durable scenario" in out
+    with open(trace_path) as handle:
+        document = json.load(handle)
+    names = {entry["name"] for entry in document["traceEvents"]}
+    assert "storage.transaction" in names
+    assert "recovery.replay" in names
+
+
+def test_fleet_metrics_flag(capsys, tmp_path):
+    metrics_path = str(tmp_path / "fleet.metrics.json")
+    code, out = run_cli(capsys, "fleet", "--devices", "200",
+                        "--rsa-bits", "512", "--shard-size", "100",
+                        "--seed", "cli-fleet", "--metrics", metrics_path)
+    assert code == 0
+    assert "merged fleet metrics written to" in out
+    with open(metrics_path) as handle:
+        data = json.load(handle)
+    assert data["counters"]["fleet.devices"] == 200
