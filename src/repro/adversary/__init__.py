@@ -1,0 +1,40 @@
+"""``repro.adversary`` — deterministic adversary-and-outage engine.
+
+PR 1's fault channel models *random* bearer damage; this package models
+the two failure sources the paper's security architecture (§2.4.1) is
+actually built against:
+
+* **Active attackers** (:mod:`repro.adversary.attacks`) — a
+  man-in-the-middle channel wrapper mounting a catalogued attack corpus
+  (forged signatures, tampered RO/CEK payloads, replays, nonce swaps,
+  stale/future OCSP, downgrade, wrong-recipient and certificate
+  substitutions, DRM-time rollback), plus the sweep harness asserting
+  the **zero-acceptance invariant**: no attack ever yields an installed
+  Rights Object or decrypted content
+  (:mod:`repro.adversary.sweep`).
+* **Service outages** (:mod:`repro.adversary.outage`) — scheduled
+  RI/OCSP downtime windows on the simulation clock, an OCSP response
+  cache that degrades gracefully inside the response validity window,
+  and — together with :class:`repro.drm.session.CircuitBreaker` —
+  fast-fail behavior that stops a terminal from burning its crypto
+  budget against a dead (or hostile) peer.
+
+Everything is seeded and deterministic: the same seed mounts the same
+attacks at the same protocol steps, so every red-team run is exactly as
+reproducible as a clean one. :mod:`repro.analysis.adversary` prices the
+engine's outcomes under the paper's three architectures.
+"""
+
+from .attacks import (ALL_ATTACKS, AdversaryChannel, AttackKind,
+                      AttackLog, MountedAttack)
+from .outage import (CachingOCSPResponder, OutageRIChannel,
+                     OutageSchedule, OutageWindow)
+from .sweep import (AttackOutcome, SweepResult, attack_registration,
+                    run_attack_sweep)
+
+__all__ = [
+    "ALL_ATTACKS", "AdversaryChannel", "AttackKind", "AttackLog",
+    "MountedAttack", "CachingOCSPResponder", "OutageRIChannel",
+    "OutageSchedule", "OutageWindow", "AttackOutcome", "SweepResult",
+    "attack_registration", "run_attack_sweep",
+]

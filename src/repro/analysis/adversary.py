@@ -1,0 +1,253 @@
+"""Experiment ``adversary``: what active attacks and outages cost.
+
+Three artifacts, all deterministic functions of the seed:
+
+* **Attack matrix** — the zero-acceptance sweep
+  (:mod:`repro.adversary.sweep`): every catalogued attack, the flow it
+  targeted, the defense that rejected it, and the cycles the terminal
+  spent *before* rejecting, per architecture profile. The sweep is also
+  the report's standing proof that the invariant holds.
+* **Forgery drain** — one registration driven against a 100%-forgery
+  adversary (certificate substitution: the response re-verifies, the
+  chain does not) twice: under the plain PR-1 retry policy, which burns
+  the full retry budget, and under the circuit breaker's forgery
+  cut-off, which aborts after two identical trust failures. The saving
+  is the breaker's measured value, per architecture.
+* **Outage degradation** — registrations driven across a scheduled RI
+  downtime window with a breaker: attempts spent discovering the
+  outage, fast-fails while open (zero crypto), and completion after
+  restore; plus the OCSP cache's behaviour through a responder outage.
+"""
+
+from dataclasses import dataclass
+from functools import lru_cache
+from typing import Dict, Tuple
+
+from ..adversary.attacks import AdversaryChannel, AttackKind
+from ..adversary.outage import (CachingOCSPResponder, OutageRIChannel,
+                                OutageSchedule, OutageWindow)
+from ..adversary.sweep import SweepResult, run_attack_sweep
+from ..core.architecture import PAPER_PROFILES
+from ..core.model import PerformanceModel
+from ..drm.clock import DAY
+from ..drm.errors import ServiceUnavailableError
+from ..drm.session import BreakerPolicy, CircuitBreaker, RoapSession
+from ..usecases.world import RSA_BITS, DRMWorld
+from .common import DEFAULT_SEED
+from .formatting import format_table
+
+#: Cool-down the outage scenario's breaker uses (seconds).
+OUTAGE_BREAKER_COOLDOWN = 300
+
+#: Length of the scripted RI outage window (seconds).
+OUTAGE_SECONDS = 3600
+
+
+@dataclass(frozen=True)
+class ForgeryDrain:
+    """Retry-policy vs circuit-breaker cost under a 100%-forgery MITM."""
+
+    architecture: str
+    retry_attempts: int
+    retry_cycles: int
+    breaker_attempts: int
+    breaker_cycles: int
+
+    @property
+    def saved_cycles(self) -> int:
+        """Cycles the forgery cut-off refunds per attacked flow."""
+        return self.retry_cycles - self.breaker_cycles
+
+    @property
+    def saved_fraction(self) -> float:
+        """Saving as a fraction of the plain-retry spend."""
+        if self.retry_cycles == 0:
+            return 0.0
+        return self.saved_cycles / self.retry_cycles
+
+
+@dataclass(frozen=True)
+class OutageStats:
+    """One scripted RI-outage timeline under a circuit breaker."""
+
+    outage_seconds: int
+    discovery_attempts: int      # attempts spent before the breaker opened
+    fast_fails: int              # flows refused at zero crypto while open
+    completed_after_restore: bool
+    ocsp_cache_hits: int
+    ocsp_fresh_responses: int
+    ocsp_unavailable: int
+
+
+@lru_cache(maxsize=4)
+def _forgery_drain(seed: str, rsa_bits: int) -> Tuple[ForgeryDrain, ...]:
+    """Measure the drain comparison once per (seed, modulus size)."""
+    model = PerformanceModel()
+    measured: Dict[bool, Tuple[int, Dict[str, int]]] = {}
+    for use_breaker in (False, True):
+        world = DRMWorld.create("%s/drain/%d" % (seed, use_breaker),
+                                metered=True, rsa_bits=rsa_bits)
+        channel = AdversaryChannel(world.ri, seed=seed + "/drain")
+        channel.arm(AttackKind.CERT_SUBSTITUTION)
+        breaker = CircuitBreaker(world.clock) if use_breaker else None
+        session = RoapSession(world.agent, channel, breaker=breaker)
+        world.agent_crypto.reset_trace()
+        outcome = session.register()
+        trace = world.agent_crypto.reset_trace()
+        if outcome.completed:
+            raise AssertionError(
+                "a fully forged registration must never complete")
+        cycles = {profile.name: model.evaluate(trace,
+                                               profile).total_cycles
+                  for profile in PAPER_PROFILES}
+        measured[use_breaker] = (outcome.attempts, cycles)
+
+    retry_attempts, retry_cycles = measured[False]
+    breaker_attempts, breaker_cycles = measured[True]
+    return tuple(
+        ForgeryDrain(
+            architecture=profile.name,
+            retry_attempts=retry_attempts,
+            retry_cycles=retry_cycles[profile.name],
+            breaker_attempts=breaker_attempts,
+            breaker_cycles=breaker_cycles[profile.name],
+        )
+        for profile in PAPER_PROFILES)
+
+
+def _outage_timeline(seed: str, rsa_bits: int) -> OutageStats:
+    """Script one RI outage and one OCSP outage; collect the counters."""
+    world = DRMWorld.create(seed + "/outage", metered=True,
+                            rsa_bits=rsa_bits)
+    start = world.clock.now
+    schedule = OutageSchedule([OutageWindow(start,
+                                            start + OUTAGE_SECONDS)])
+    channel = OutageRIChannel(world.ri, schedule, world.clock)
+    breaker = CircuitBreaker(
+        world.clock, BreakerPolicy(open_seconds=OUTAGE_BREAKER_COOLDOWN))
+    session = RoapSession(world.agent, channel, breaker=breaker)
+
+    discovery = session.register()       # trips the breaker open
+    fast_failed = session.register()     # refused at zero crypto
+    assert not discovery.completed and not fast_failed.completed
+    world.clock.advance(
+        schedule.seconds_until_restore(world.clock.now))
+    restored = session.register()        # half-open probe succeeds
+
+    # OCSP responder outage on a separate world: the cache carries
+    # registration through downtime inside the response validity window
+    # and degrades to unavailable beyond it.
+    ocsp_world = DRMWorld.create(seed + "/ocsp-outage", metered=True,
+                                 rsa_bits=rsa_bits)
+    ocsp_start = ocsp_world.clock.now + 100
+    ocsp_schedule = OutageSchedule(
+        [OutageWindow(ocsp_start, ocsp_start + 30 * DAY)])
+    caching = CachingOCSPResponder(ocsp_world.ocsp, ocsp_schedule)
+    ocsp_world.ri._ocsp = caching
+    ocsp_world.agent.register(ocsp_world.ri)      # fresh, cached
+    ocsp_world.clock.advance(DAY)
+    ocsp_world.agent.register(ocsp_world.ri)      # served from cache
+    ocsp_world.clock.advance(9 * DAY)             # cache validity over
+    try:
+        ocsp_world.agent.register(ocsp_world.ri)
+    except ServiceUnavailableError:
+        pass                                      # degraded to refusal
+
+    return OutageStats(
+        outage_seconds=OUTAGE_SECONDS,
+        discovery_attempts=discovery.attempts,
+        fast_fails=breaker.fast_fails,
+        completed_after_restore=restored.completed,
+        ocsp_cache_hits=caching.cache_hits,
+        ocsp_fresh_responses=caching.fresh_responses,
+        ocsp_unavailable=caching.unavailable,
+    )
+
+
+@dataclass
+class AdversaryAnalysis:
+    """The rendered adversary experiment."""
+
+    seed: str
+    rsa_bits: int
+    sweep: SweepResult
+    drains: Tuple[ForgeryDrain, ...]
+    outage: OutageStats
+
+    def render(self) -> str:
+        """Three aligned tables: attack matrix, drain, degradation."""
+        attack_rows = []
+        for outcome in self.sweep.outcomes:
+            wasted = " / ".join(
+                "%d" % outcome.defender_cycles[profile.name]
+                for profile in PAPER_PROFILES)
+            attack_rows.append((
+                outcome.attack.value,
+                outcome.flow,
+                str(outcome.mounted),
+                "REJECTED" if outcome.rejected else "ACCEPTED",
+                outcome.defense,
+                wasted,
+            ))
+        arch_names = " / ".join(p.name for p in PAPER_PROFILES)
+        matrix = format_table(
+            ("attack", "flow", "mounted", "verdict", "defense",
+             "defender cycles (%s)" % arch_names),
+            attack_rows,
+            title="Attack corpus, zero-acceptance sweep (seed %r, "
+                  "%d-bit RSA)" % (self.sweep.seed, self.sweep.rsa_bits))
+
+        drain_rows = []
+        for drain in self.drains:
+            drain_rows.append((
+                drain.architecture,
+                "%d" % drain.retry_attempts,
+                "%d" % drain.retry_cycles,
+                "%d" % drain.breaker_attempts,
+                "%d" % drain.breaker_cycles,
+                "%d" % drain.saved_cycles,
+                "%.0f%%" % (100.0 * drain.saved_fraction),
+            ))
+        drain_table = format_table(
+            ("arch", "retry attempts", "retry [cycles]",
+             "breaker attempts", "breaker [cycles]", "saved [cycles]",
+             "saved"),
+            drain_rows,
+            title="100%-forgery drain: plain retry vs forgery cut-off")
+
+        outage = self.outage
+        outage_rows = [
+            ("RI outage window", "%d s" % outage.outage_seconds),
+            ("attempts before breaker opened",
+             str(outage.discovery_attempts)),
+            ("fast-failed flows while open (zero crypto)",
+             str(outage.fast_fails)),
+            ("completed after restore",
+             "yes" if outage.completed_after_restore else "NO"),
+            ("OCSP responses served fresh",
+             str(outage.ocsp_fresh_responses)),
+            ("OCSP responses served from cache",
+             str(outage.ocsp_cache_hits)),
+            ("OCSP refusals beyond cache validity",
+             str(outage.ocsp_unavailable)),
+        ]
+        outage_table = format_table(
+            ("degradation metric", "value"), outage_rows,
+            title="Outage degradation")
+
+        return matrix + "\n\n" + drain_table + "\n\n" + outage_table
+
+
+def generate(seed: str = DEFAULT_SEED,
+             rsa_bits: int = RSA_BITS) -> AdversaryAnalysis:
+    """Run the adversary experiment (sweep, drain, outage timeline)."""
+    sweep = run_attack_sweep(seed=seed + "/adversary",
+                             rsa_bits=rsa_bits)
+    sweep.assert_zero_acceptance()
+    return AdversaryAnalysis(
+        seed=seed,
+        rsa_bits=rsa_bits,
+        sweep=sweep,
+        drains=_forgery_drain(seed, rsa_bits),
+        outage=_outage_timeline(seed, rsa_bits),
+    )

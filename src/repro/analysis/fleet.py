@@ -81,6 +81,12 @@ class FleetAnalysis:
                 ("power-loss recoveries",
                  "%d devices, %d journal records replayed"
                  % (acc.recoveries, acc.recovery_records)))
+        if config.adversary_fraction > 0.0:
+            ri_rows.append(
+                ("attacked devices",
+                 "%d behind an active forger (cut off after %d "
+                 "attempts each)"
+                 % (acc.attacked_devices, config.breaker_cutoff)))
         ri_side = format_table(
             ("RI-side metric", "value"), ri_rows,
             title="Rights Issuer load")

@@ -7,8 +7,8 @@ the in-text claims, message sizes — into a single Markdown document, and
 
 from dataclasses import dataclass
 
-from . import (claims, durability, figure5, figure6, figure7, fleet,
-               messages, observability, resilience, table1)
+from . import (adversary, claims, durability, figure5, figure6, figure7,
+               fleet, messages, observability, resilience, table1)
 from .common import DEFAULT_SEED
 from .formatting import deviation_pct
 
@@ -83,6 +83,10 @@ def generate(seed: str = DEFAULT_SEED) -> ReproductionReport:
     sections.append("## Fleet-scale workload\n\n```\n%s\n```"
                     % population.render())
 
+    attacked = adversary.generate(seed)
+    sections.append("## Adversary and outage degradation\n\n```\n%s\n```"
+                    % attacked.render())
+
     observed = observability.generate(seed)
     sections.append("## Observability\n\n```\n%s\n```"
                     % observed.render())
@@ -98,6 +102,13 @@ def generate(seed: str = DEFAULT_SEED) -> ReproductionReport:
     verdicts.append("Worst Figure 7 deviation: %.1f%%" % worst7)
     verdicts.append("PKI ~600 ms claim: measured %.1f ms"
                     % claim.pki_ms_music)
+    verdicts.append(
+        "Zero-acceptance sweep: %d/%d attacks rejected"
+        % (len(attacked.sweep.outcomes) - len(attacked.sweep.accepted),
+           len(attacked.sweep.outcomes)))
+    verdicts.append(
+        "Forgery cut-off refund: %.0f%% of the attacked flow's "
+        "crypto spend" % (100.0 * attacked.drains[0].saved_fraction))
     sections.append("## Verdict\n\n" + "\n".join(
         "* " + v for v in verdicts))
 

@@ -12,6 +12,8 @@ Commands:
 * ``concurrency`` — CPU-busy vs wall-clock under macro offload.
 * ``resilience`` — expected retry overhead on a lossy bearer.
 * ``durability`` — write-ahead journal overhead and recovery cost.
+* ``adversary`` — active-attacker sweep (zero-acceptance invariant),
+  circuit-breaker forgery drain and outage degradation.
 * ``fleet`` — simulate a large device population against one RI.
 * ``trace`` — run a named scenario with the cycle-timebase tracer and
   export Chrome trace-event JSON plus a metrics registry.
@@ -32,8 +34,8 @@ from dataclasses import fields, is_dataclass
 from enum import Enum
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
-from .analysis import (claims, durability, figure5, figure6, figure7,
-                       fleet, report, resilience, table1)
+from .analysis import (adversary, claims, durability, figure5, figure6,
+                       figure7, fleet, report, resilience, table1)
 from .analysis.common import DEFAULT_SEED
 from .analysis.formatting import format_ms, format_table
 from .core.architecture import PAPER_PROFILES
@@ -348,6 +350,11 @@ def _build_durability(args: argparse.Namespace) -> CommandOutput:
     return "\n".join(lines), result
 
 
+def _build_adversary(args: argparse.Namespace) -> CommandOutput:
+    result = adversary.generate(seed=args.seed, rsa_bits=args.rsa_bits)
+    return result.render(), result
+
+
 def _build_fleet(args: argparse.Namespace) -> CommandOutput:
     analysis = fleet.generate(
         seed=args.seed, devices=args.devices, workers=args.workers,
@@ -355,7 +362,9 @@ def _build_fleet(args: argparse.Namespace) -> CommandOutput:
         lossy_fraction=args.lossy_fraction,
         loss_rate=args.loss_rate, shard_size=args.shard_size,
         rsa_bits=args.rsa_bits, journaled=args.journaled,
-        crash_rate=args.crash_rate)
+        crash_rate=args.crash_rate,
+        adversary_fraction=args.adversary_fraction,
+        breaker_cutoff=args.breaker_cutoff)
     lines = [analysis.render()]
     if args.metrics:
         write_metrics(analysis.result.metrics, args.metrics)
@@ -497,6 +506,14 @@ def build_parser() -> argparse.ArgumentParser:
                      help="write a Chrome trace of one journaled "
                           "run with recovery at this seed")
 
+    sub = analysis_parser("adversary",
+                          "attack sweep, forgery drain and outage "
+                          "degradation",
+                          _build_adversary)
+    sub.add_argument("--seed", default=DEFAULT_SEED)
+    sub.add_argument("--rsa-bits", type=int, default=1024,
+                     help="modulus size for the attacked worlds")
+
     sub = analysis_parser("fleet",
                           "simulate a large device population "
                           "against one RI",
@@ -528,6 +545,13 @@ def build_parser() -> argparse.ArgumentParser:
     sub.add_argument("--crash-rate", type=float, default=0.0,
                      help="per-device power-loss probability (requires "
                           "--journaled)")
+    sub.add_argument("--adversary-fraction", type=float, default=0.0,
+                     help="fraction of devices behind an active forger "
+                          "(their registrations fail and are cut off "
+                          "by the circuit breaker)")
+    sub.add_argument("--breaker-cutoff", type=int, default=2,
+                     help="identical trust failures before the forgery "
+                          "cut-off aborts an attacked flow")
     sub.add_argument("--metrics", metavar="PATH", default=None,
                      help="write the merged fleet metrics registry "
                           "as JSON")

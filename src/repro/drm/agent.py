@@ -34,7 +34,7 @@ from .clock import SimulationClock, YEAR
 from .dcf import DCF, MultipartDCF
 from .errors import (AcquisitionError, InstallationError, IntegrityError,
                      NonceMismatchError, PermissionDeniedError,
-                     RegistrationError)
+                     RegistrationError, TrustError)
 from .identifiers import DEFAULT_ALGORITHMS, ROAP_VERSION
 from .ocsp import verify_ocsp_response
 from .rel import (ExportConstraint, ExportMode, PermissionType,
@@ -55,6 +55,14 @@ KDEV_LENGTH = 16
 
 #: How long an RI Context stays valid before re-registration.
 RI_CONTEXT_LIFETIME = 1 * YEAR
+
+#: Largest *backward* DRM-time correction a registration may apply.
+#: Resync exists to cure drift (seconds to minutes of skew per year);
+#: an RI time that would wind DRM Time back further than this is either
+#: a broken RI or an attacker stretching datetime constraints, and the
+#: agent refuses to adopt it. Forward corrections are unbounded — moving
+#: time forward only ever *shrinks* what rights allow.
+MAX_TIME_ROLLBACK_SECONDS = 1 * 86_400
 
 
 @dataclass(frozen=True)
@@ -97,6 +105,8 @@ class DRMAgent:
                  verify_dcf_on_install: bool = False,
                  kdev_optimization: bool = True,
                  clock_skew_seconds: int = 0,
+                 max_time_rollback_seconds: int =
+                 MAX_TIME_ROLLBACK_SECONDS,
                  durable: bool = False,
                  storage_flash=None,
                  storage_injector=None) -> None:
@@ -109,6 +119,8 @@ class DRMAgent:
         self.verify_dcf_on_install = verify_dcf_on_install
         self.kdev_optimization = kdev_optimization
         self._time_offset = clock_skew_seconds
+        self._time_synced = False
+        self.max_time_rollback_seconds = max_time_rollback_seconds
         self.secure = SecureStorage(
             device_private_key=keypair,
             kdev=crypto.random_bytes(KDEV_LENGTH),
@@ -156,6 +168,43 @@ class DRMAgent:
         (or been wound back to stretch datetime constraints).
         """
         return self.clock.now + self._time_offset
+
+    def wind_clock(self, seconds: int) -> int:
+        """Shift this device's clock by ``seconds`` (negative = back).
+
+        Models the user adjusting the terminal's clock — the classic
+        attempt to stretch datetime constraints or revive an expired RI
+        Context. DRM Time follows the adjustment immediately; only a
+        registration resync (bounded, rollback-refusing) corrects it.
+        Returns the new DRM Time.
+        """
+        self._time_offset += seconds
+        return self.drm_time()
+
+    def _checked_ri_time(self, ri_time: int) -> int:
+        """Validate a proposed DRM-time resync value, without adopting it.
+
+        Once the device has synced DRM Time from a trusted RI, a
+        correction that would move it *backward* by more than
+        ``max_time_rollback_seconds`` is refused — resync cures drift,
+        it must never become a rollback channel for stretched datetime
+        constraints (a forged RI time fails the signature check anyway;
+        this bounds even a compromised-but-certified RI). Before the
+        first sync there is nothing trustworthy to protect: the factory
+        clock may be arbitrarily fast or slow, and resync exists to cure
+        exactly that, so the first correction is unbounded in both
+        directions. The caller commits the offset only after the whole
+        trust chain verified, so a failed registration can never leave a
+        poisoned clock behind.
+        """
+        correction = ri_time - self.drm_time()
+        if self._time_synced \
+                and correction < -self.max_time_rollback_seconds:
+            raise TrustError(
+                "refusing DRM time rollback of %d s (bound %d s)"
+                % (-correction, self.max_time_rollback_seconds)
+            )
+        return ri_time
 
     # ------------------------------------------------------------------
     # Phase 1: Registration — establishing trust (paper §2.4.1)
@@ -206,12 +255,16 @@ class DRMAgent:
                 raise NonceMismatchError(
                     "RegistrationResponse does not echo our nonce"
                 )
-            # DRM Time resynchronization: adopt the RI's clock before
-            # validating time-sensitive artifacts, so a drifted device
-            # can still complete registration (the signed response and
-            # our nonce prevent an attacker from feeding a bogus time).
+            # DRM Time resynchronization, hardened: the resync value is
+            # validated (bounded correction, rollback refused) and then
+            # only *used* for the time-sensitive checks below — it is
+            # committed as the device's offset after the whole trust
+            # chain verified. The signature check comes first, so an
+            # attacker-supplied ri_time never influences any decision.
+            verification_time = self.drm_time()
             if response.ri_time:
-                self._time_offset = response.ri_time - self.clock.now
+                verification_time = self._checked_ri_time(
+                    response.ri_time)
             # The paper's three registration-phase public-key operations:
             # message signature, RI certificate, OCSP response.
             self.crypto.pss_verify(
@@ -219,14 +272,17 @@ class DRMAgent:
                 response.tbs_bytes(), response.signature,
                 label="verify-registration-response")
             verify_certificate(response.ri_certificate,
-                               self.trust_anchors, self.drm_time(),
+                               self.trust_anchors, verification_time,
                                self.crypto)
             responder_cert = self._find_anchor(
                 response.ocsp_response.responder)
             verify_ocsp_response(
                 response.ocsp_response,
                 response.ri_certificate.serial,
-                responder_cert, self.drm_time(), self.crypto)
+                responder_cert, verification_time, self.crypto)
+            if response.ri_time:
+                self._time_offset = response.ri_time - self.clock.now
+                self._time_synced = True
 
             context = RIContext(
                 ri_id=ri_hello.ri_id,

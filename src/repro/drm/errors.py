@@ -59,6 +59,14 @@ class ChannelTimeoutError(ChannelError):
     """No valid response arrived within the channel timeout."""
 
 
+class ServiceUnavailableError(ChannelError):
+    """The peer service (RI front-end, OCSP responder) is down.
+
+    Distinct from a timeout so degradation layers can tell a scheduled
+    outage window (fast-fail, serve from cache) from bearer loss (wait
+    out the timeout, retry)."""
+
+
 class RoapStatusError(ChannelError):
     """The RI answered with a transient error status instead of a
     signed response (e.g. ``ServerBusy`` under load shedding)."""

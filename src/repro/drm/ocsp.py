@@ -14,7 +14,14 @@ from ..crypto.errors import SignatureError
 from . import serialize
 from .certificates import Certificate, CertificationAuthority
 from .clock import DAY
-from .errors import CertificateRevokedError, TrustError
+from .errors import CertificateRevokedError, TrustError, WireDecodeError
+
+#: How far into the future a response's ``produced_at`` may lie before
+#: the agent rejects it. Responder and terminal clocks are never exactly
+#: aligned, so a small allowance is needed; anything beyond it means a
+#: pre-signed response is being presented by a party that controls the
+#: terminal's notion of time (the rolled-back-clock attack).
+DEFAULT_FRESHNESS_TOLERANCE = 5 * 60
 
 
 class CertStatus(enum.Enum):
@@ -55,17 +62,28 @@ class OCSPResponse:
 
 
 def ocsp_response_from_bytes(blob: bytes) -> OCSPResponse:
-    """Inverse of :meth:`OCSPResponse.to_bytes` (wire decoding)."""
-    outer = serialize.decode(blob)
-    tbs = serialize.decode(outer["tbs"])
-    return OCSPResponse(
-        serial=int(tbs["serial"]),
-        status=CertStatus(tbs["status"]),
-        produced_at=int(tbs["produced_at"]),
-        next_update=int(tbs["next_update"]),
-        responder=tbs["responder"],
-        signature=outer["signature"],
-    )
+    """Inverse of :meth:`OCSPResponse.to_bytes` (wire decoding).
+
+    Raises :class:`~repro.drm.errors.WireDecodeError` for any malformed
+    input — missing fields, wrong types, unknown status strings — per
+    the wire-layer contract (REP4xx): corrupted transport bytes surface
+    as exactly one typed exception, never a raw ``KeyError``.
+    """
+    try:
+        outer = serialize.decode(blob)
+        tbs = serialize.decode(outer["tbs"])
+        return OCSPResponse(
+            serial=int(tbs["serial"]),
+            status=CertStatus(tbs["status"]),
+            produced_at=int(tbs["produced_at"]),
+            next_update=int(tbs["next_update"]),
+            responder=tbs["responder"],
+            signature=outer["signature"],
+        )
+    except WireDecodeError:
+        raise
+    except (KeyError, TypeError, ValueError, AttributeError) as exc:
+        raise WireDecodeError("malformed OCSP response") from exc
 
 
 class OCSPResponder:
@@ -99,12 +117,20 @@ class OCSPResponder:
 
 def verify_ocsp_response(response: OCSPResponse, serial: int,
                          responder_certificate: Certificate,
-                         now: int, crypto) -> None:
+                         now: int, crypto,
+                         tolerance_seconds: int =
+                         DEFAULT_FRESHNESS_TOLERANCE) -> None:
     """Verify an OCSP response: signature, serial, freshness, status.
 
     The signature check is one RSA public-key operation — the third PKI
     verification in the paper's registration-phase operation list. Raises
     :class:`TrustError` / :class:`CertificateRevokedError` on failure.
+
+    Freshness is checked in both directions: a response past its
+    ``next_update`` is stale, and one produced more than
+    ``tolerance_seconds`` in the *future* is rejected too — otherwise a
+    pre-signed response combined with a rolled-back terminal clock would
+    verify indefinitely.
     """
     if response.serial != serial:
         raise TrustError(
@@ -115,6 +141,12 @@ def verify_ocsp_response(response: OCSPResponse, serial: int,
         raise TrustError("OCSP responder name does not match certificate")
     if now > response.next_update:
         raise TrustError("OCSP response is stale")
+    if response.produced_at > now + tolerance_seconds:
+        raise TrustError(
+            "OCSP response is future-dated (produced_at %d, now %d, "
+            "tolerance %d s)"
+            % (response.produced_at, now, tolerance_seconds)
+        )
     try:
         crypto.pss_verify(responder_certificate.public_key,
                           response.tbs_bytes(), response.signature)

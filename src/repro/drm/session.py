@@ -43,6 +43,24 @@ produces: timeouts, decode failures, nonce mismatches, signature and
 trust-chain failures, and transient RI error statuses. Semantic refusals
 (unknown license, permission denied, version mismatch) abort
 immediately — retrying cannot cure them.
+
+**Circuit breaking (active adversaries and outages).** Treating every
+``TrustError`` as bearer corruption is the right call for *random*
+faults, but it hands an active man-in-the-middle the whole retry
+budget: each forged response costs the terminal its full per-attempt
+crypto spend, five times over. :class:`CircuitBreaker` closes that
+hole with two policies layered on the retry loop:
+
+* **Forgery cut-off** — ``K`` consecutive *identical* trust failures
+  (same exception type, same message) within one flow are a consistent
+  forgery, not noise: random corruption produces *varying* failures
+  (different octets garble different checks), an attacker replaying
+  the same tampering produces the same failure every time. The flow
+  aborts immediately, refunding the remaining retry budget.
+* **Outage fast-fail** — repeated failures across flows trip the
+  breaker OPEN; while open, flows fast-fail without spending any
+  crypto until ``open_seconds`` of simulation time pass, then one
+  HALF_OPEN probe attempt decides between re-closing and re-opening.
 """
 
 import enum
@@ -126,6 +144,128 @@ class RetryPolicy:
         return delay
 
 
+class BreakerState(enum.Enum):
+    """States of the circuit breaker guarding a session's flows."""
+
+    CLOSED = "closed"        # normal operation, failures counted
+    OPEN = "open"            # fast-fail: no attempts until cool-down
+    HALF_OPEN = "half-open"  # cool-down elapsed: one probe allowed
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+@dataclass(frozen=True)
+class BreakerPolicy:
+    """Thresholds for :class:`CircuitBreaker`.
+
+    ``identical_trust_failures`` is the forgery cut-off: that many
+    consecutive byte-identical trust failures within one flow abort it
+    immediately (random corruption varies, an active attacker repeats).
+    ``failure_threshold`` consecutive failed attempts trip the breaker
+    OPEN; ``open_seconds`` of simulation time must pass before a
+    HALF_OPEN probe is allowed through.
+    """
+
+    identical_trust_failures: int = 2
+    failure_threshold: int = 3
+    open_seconds: int = 300
+
+    def __post_init__(self) -> None:
+        if self.identical_trust_failures < 2:
+            raise ValueError(
+                "forgery cut-off needs at least two observations")
+        if self.failure_threshold < 1:
+            raise ValueError("failure threshold must be positive")
+        if self.open_seconds < 0:
+            raise ValueError("the open window must be non-negative")
+
+
+class CircuitBreaker:
+    """Closed → open → half-open failure containment for ROAP flows.
+
+    Shared by all flows of one :class:`RoapSession` (or several sessions
+    of one device): consecutive attempt failures trip it OPEN, flows
+    then fast-fail — spending *zero* crypto — until ``open_seconds`` of
+    simulation time pass; the first attempt after the cool-down is the
+    HALF_OPEN probe that decides between re-closing and re-opening.
+
+    The counters (``fast_fails``, ``forgeries_detected``,
+    ``times_opened``) feed :mod:`repro.analysis.adversary`.
+    """
+
+    def __init__(self, clock, policy: BreakerPolicy = BreakerPolicy(),
+                 tracer=NULL_TRACER) -> None:
+        self.clock = clock
+        self.policy = policy
+        self.tracer = tracer
+        self.state = BreakerState.CLOSED
+        self.consecutive_failures = 0
+        self.fast_fails = 0
+        self.forgeries_detected = 0
+        self.times_opened = 0
+        self._opened_at: Optional[int] = None
+
+    def allow_attempt(self) -> bool:
+        """Whether a protocol attempt may be started right now.
+
+        An OPEN breaker transitions to HALF_OPEN once the cool-down has
+        elapsed on the simulation clock; the caller's next attempt is
+        then the probe. Returns False (and counts a fast-fail) while
+        the cool-down is still running.
+        """
+        if self.state is BreakerState.OPEN:
+            elapsed = self.clock.now - (self._opened_at or 0)
+            if elapsed >= self.policy.open_seconds:
+                self.state = BreakerState.HALF_OPEN
+                self.tracer.event("breaker.half-open", track="roap")
+            else:
+                self.fast_fails += 1
+                return False
+        return True
+
+    def seconds_until_probe(self) -> int:
+        """Simulation seconds until an OPEN breaker allows its probe."""
+        if self.state is not BreakerState.OPEN:
+            return 0
+        elapsed = self.clock.now - (self._opened_at or 0)
+        return max(0, self.policy.open_seconds - elapsed)
+
+    def record_success(self) -> None:
+        """An attempt completed: re-close and forget the failure run."""
+        self.consecutive_failures = 0
+        if self.state is not BreakerState.CLOSED:
+            self.state = BreakerState.CLOSED
+            self.tracer.event("breaker.closed", track="roap")
+
+    def record_failure(self) -> None:
+        """An attempt failed: count it, tripping OPEN at the threshold.
+
+        A failed HALF_OPEN probe re-opens immediately — the outage (or
+        attacker) is still there, and the cool-down restarts.
+        """
+        self.consecutive_failures += 1
+        if self.state is BreakerState.HALF_OPEN \
+                or self.consecutive_failures \
+                >= self.policy.failure_threshold:
+            self.trip_open()
+
+    def record_forgery(self) -> None:
+        """A consistent forgery was identified: count it and trip OPEN."""
+        self.forgeries_detected += 1
+        self.trip_open()
+
+    def trip_open(self) -> None:
+        """Open the breaker (idempotent while already open)."""
+        if self.state is not BreakerState.OPEN:
+            self.state = BreakerState.OPEN
+            self.times_opened += 1
+            self.tracer.event("breaker.open", track="roap",
+                              consecutive_failures=
+                              self.consecutive_failures)
+        self._opened_at = self.clock.now
+
+
 @dataclass(frozen=True)
 class Transition:
     """One state-machine transition, timestamped on the simulation clock."""
@@ -171,11 +311,13 @@ class RoapSession:
 
     def __init__(self, agent, channel,
                  policy: RetryPolicy = RetryPolicy(),
-                 name: str = "roap-session") -> None:
+                 name: str = "roap-session",
+                 breaker: Optional[CircuitBreaker] = None) -> None:
         self.agent = agent
         self.channel = channel
         self.policy = policy
         self.name = name
+        self.breaker = breaker
         self.tracer = getattr(agent, "tracer", NULL_TRACER)
         self.transitions: List[Transition] = []
         self.state = SessionState.IDLE
@@ -220,7 +362,19 @@ class RoapSession:
         attempts = 0
         reregistrations = 0
         last_error: Optional[Exception] = None
+        # Forgery cut-off bookkeeping: (type, message) of the last trust
+        # failure and how many consecutive times it repeated unchanged.
+        last_trust_key: Optional[Tuple[str, str]] = None
+        identical_trust_failures = 0
         while attempts < self.policy.max_attempts:
+            if self.breaker is not None \
+                    and not self.breaker.allow_attempt():
+                self.tracer.event("session.fast-fail", track="roap",
+                                  label=label)
+                return self._abort(
+                    label, started, attempts, reregistrations,
+                    "circuit open: fast-failed %s (probe in %d s)"
+                    % (label, self.breaker.seconds_until_probe()))
             attempts += 1
             self._enter(SessionState.IN_FLIGHT,
                         "%s attempt %d/%d"
@@ -250,6 +404,37 @@ class RoapSession:
                 self.tracer.event("session.retry", track="roap",
                                   label=label, attempt=attempts,
                                   error=type(exc).__name__)
+                if self.breaker is not None:
+                    self.breaker.record_failure()
+                    if isinstance(exc, TrustError):
+                        key = (type(exc).__name__, str(exc))
+                        if key == last_trust_key:
+                            identical_trust_failures += 1
+                        else:
+                            last_trust_key = key
+                            identical_trust_failures = 1
+                        if identical_trust_failures >= \
+                                self.breaker.policy \
+                                    .identical_trust_failures:
+                            # Random corruption garbles different octets
+                            # on every delivery; the same trust failure
+                            # repeating verbatim is an active forgery.
+                            # Refund the remaining retry budget.
+                            self.breaker.record_forgery()
+                            self.tracer.event(
+                                "session.forgery", track="roap",
+                                label=label, attempts=attempts,
+                                error=type(exc).__name__)
+                            return self._abort(
+                                label, started, attempts,
+                                reregistrations,
+                                "consistent forgery: %d identical %s "
+                                "failures (%s)"
+                                % (identical_trust_failures,
+                                   type(exc).__name__, exc))
+                    else:
+                        last_trust_key = None
+                        identical_trust_failures = 0
                 if attempts >= self.policy.max_attempts:
                     break
                 delay = self.policy.backoff_seconds(
@@ -265,6 +450,8 @@ class RoapSession:
                 return self._abort(label, started, attempts,
                                    reregistrations, str(exc))
             else:
+                if self.breaker is not None:
+                    self.breaker.record_success()
                 self._enter(SessionState.COMPLETED,
                             "%s completed after %d attempt(s)"
                             % (label, attempts))

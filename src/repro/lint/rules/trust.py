@@ -1,0 +1,87 @@
+"""REP7xx — adversarial robustness of the trust boundary.
+
+The adversary sweep (:mod:`repro.adversary`) proves the zero-acceptance
+invariant dynamically; this family guards it statically. The invariant
+dies quietly the day a protocol path catches a trust failure and drops
+it on the floor — ``except TrustError: pass`` turns a detected forgery
+into an accepted message, and nothing downstream will notice. REP701
+flags exception handlers in ``repro.drm`` that catch a trust-class
+exception (``TrustError`` or a subclass) and swallow it: the handler
+body neither raises, returns, nor calls anything — so ``pass``,
+``continue``, and bare counter bumps are all caught, stricter than the
+generic REP402 pass-only check. Handlers that abort (return/raise) or
+delegate the decision (record the failure, trace it, trip a breaker)
+are untouched — containment is fine, silence is not.
+"""
+
+import ast
+from typing import Iterator
+
+from .base import RawFinding, Rule
+
+#: Exception names whose silent swallowing breaks the trust boundary.
+_TRUST_EXCEPTIONS = frozenset({
+    "TrustError", "CertificateExpiredError", "CertificateRevokedError",
+})
+
+
+def _caught_trust_name(node) -> str:
+    """The trust-class exception ``except``-clause ``node`` catches.
+
+    Handles bare names, dotted references (``errors.TrustError``) and
+    tuples of either; returns the first trust-class name, or ``""``.
+    """
+    if node is None:
+        return ""
+    if isinstance(node, ast.Tuple):
+        for element in node.elts:
+            name = _caught_trust_name(element)
+            if name:
+                return name
+        return ""
+    if isinstance(node, ast.Attribute):
+        return node.attr if node.attr in _TRUST_EXCEPTIONS else ""
+    if isinstance(node, ast.Name):
+        return node.id if node.id in _TRUST_EXCEPTIONS else ""
+    return ""
+
+
+def _is_silent(body) -> bool:
+    """Whether a handler body swallows the caught failure.
+
+    A handler participates in the trust decision when it aborts the
+    flow (``raise``/``return``) or delegates to *anything* — recording
+    the failure, tracing it, tripping a breaker are all calls. A body
+    with none of those (``pass``, ``continue``, counter bumps) lets a
+    detected forgery continue as if verification had passed.
+    """
+    for statement in body:
+        for node in ast.walk(statement):
+            if isinstance(node, (ast.Raise, ast.Return, ast.Call)):
+                return False
+    return True
+
+
+class NoSwallowedTrustErrorRule(Rule):
+    """REP701: trust failures are never silently swallowed."""
+
+    id = "REP701"
+    title = ("repro.drm catches a trust-class exception and discards "
+             "it; a swallowed TrustError turns a detected forgery into "
+             "an accepted message")
+    default_scopes = ("repro.drm",)
+
+    def check(self, ctx, project) -> Iterator[RawFinding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            caught = _caught_trust_name(node.type)
+            if caught and _is_silent(node.body):
+                yield self.finding(
+                    node, "silently swallowed %s: a detected trust "
+                          "failure must abort, retry or propagate — "
+                          "an empty handler accepts forged material"
+                          % caught)
+
+
+RULES = (NoSwallowedTrustErrorRule,)

@@ -130,6 +130,13 @@ class FleetConfig:
     calibration_octets: int = DEFAULT_CALIBRATION_OCTETS
     journaled: bool = False
     crash_rate: float = 0.0
+    #: Fraction of devices behind a persistent active man-in-the-middle
+    #: (see :mod:`repro.adversary`): their ROAP flows never complete,
+    #: and the session's forgery cut-off bounds the crypto each one
+    #: wastes at ``breaker_cutoff`` attempts instead of the full retry
+    #: budget.
+    adversary_fraction: float = 0.0
+    breaker_cutoff: int = 2
 
     def __post_init__(self) -> None:
         if self.devices < 1:
@@ -153,6 +160,11 @@ class FleetConfig:
         if self.crash_rate > 0.0 and not self.journaled:
             raise ValueError("crash modeling requires journaled "
                              "storage (set journaled=True)")
+        if not 0.0 <= self.adversary_fraction <= 1.0:
+            raise ValueError("adversary fraction must be within [0, 1]")
+        if self.breaker_cutoff < 2:
+            raise ValueError("the forgery cut-off needs at least two "
+                             "observations")
 
     def size_buckets(self) -> Tuple[int, ...]:
         """All distinct content sizes any device can draw, sorted."""
@@ -282,6 +294,9 @@ class DeviceDraw:
     #: and after how many completed accesses (journal depth at reboot).
     crashed: bool = False
     crash_point: int = 0
+    #: Whether this device sits behind a persistent active attacker (its
+    #: flows then abort at the forgery cut-off, never completing).
+    attacked: bool = False
 
 
 def _attempt_success_probability(loss_rate: float,
@@ -351,12 +366,29 @@ def draw_device(config: FleetConfig, index: int) -> DeviceDraw:
         if crashed:
             crash_point = rng.randrange(accesses + 1)
 
+    # Adversary draws are likewise gated on their enabling parameter:
+    # attack-free configs consume the identical random stream as before
+    # this draw existed. An attacked device faces a persistent forging
+    # man-in-the-middle: its registration aborts at the session layer's
+    # forgery cut-off (identical trust failures), so it spends exactly
+    # ``breaker_cutoff`` priced attempts instead of the full retry
+    # budget, and nothing downstream of registration ever happens.
+    attacked = False
+    if config.adversary_fraction > 0.0:
+        attacked = rng.random() < config.adversary_fraction
+        if attacked:
+            reg_attempts = min(config.breaker_cutoff,
+                               config.max_attempts)
+            registered = False
+            acq_attempts, acquired = 0, False
+            crashed, crash_point = False, 0
+
     return DeviceDraw(
         index=index, family=family.name, content_octets=content_octets,
         accesses=accesses, arrival_bin=arrival_bin, lossy=lossy,
         registration_attempts=reg_attempts, registered=registered,
         acquisition_attempts=acq_attempts, acquired=acquired,
-        crashed=crashed, crash_point=crash_point,
+        crashed=crashed, crash_point=crash_point, attacked=attacked,
     )
 
 
@@ -380,6 +412,7 @@ class FleetAccumulator:
     accesses: int = 0
     recoveries: int = 0
     recovery_records: int = 0
+    attacked_devices: int = 0
 
     def observe(self, draw: DeviceDraw, config: FleetConfig,
                 templates: CostTemplates) -> None:
@@ -441,6 +474,7 @@ class FleetAccumulator:
         self.accesses += draw.accesses if draw.acquired else 0
         self.recoveries += int(draw.crashed)
         self.recovery_records += replayed
+        self.attacked_devices += int(draw.attacked)
 
     def merge(self, other: "FleetAccumulator") -> "FleetAccumulator":
         """Exact union (associative and commutative)."""
@@ -470,6 +504,8 @@ class FleetAccumulator:
             recoveries=self.recoveries + other.recoveries,
             recovery_records=(self.recovery_records
                               + other.recovery_records),
+            attacked_devices=(self.attacked_devices
+                              + other.attacked_devices),
         )
 
     def metrics(self) -> MetricsRegistry:
@@ -492,6 +528,7 @@ class FleetAccumulator:
         registry.counter("fleet.accesses", self.accesses)
         registry.counter("fleet.recoveries", self.recoveries)
         registry.counter("fleet.recovery_records", self.recovery_records)
+        registry.counter("fleet.attacked_devices", self.attacked_devices)
         for family in sorted(self.family_devices):
             registry.counter("fleet.family.%s" % family,
                              self.family_devices[family])

@@ -1,0 +1,151 @@
+"""Circuit breaker: state machine, forgery cut-off, outage fast-fail.
+
+The breaker unit tests need no worlds; the integration tests drive
+:class:`~repro.drm.session.RoapSession` against the adversary and
+outage channels and pin the breaker's measurable value: fewer attempts,
+fewer priced crypto operations, recovery after restore.
+"""
+
+import pytest
+
+from repro.adversary.attacks import AdversaryChannel, AttackKind
+from repro.adversary.outage import (OutageRIChannel, OutageSchedule,
+                                    OutageWindow)
+from repro.drm.clock import SimulationClock
+from repro.drm.session import (BreakerPolicy, BreakerState,
+                               CircuitBreaker, RoapSession)
+from repro.usecases.world import DRMWorld
+
+BITS = 512
+
+
+# -- the state machine, no worlds needed -------------------------------------
+
+def test_policy_validation():
+    with pytest.raises(ValueError):
+        BreakerPolicy(identical_trust_failures=1)
+    with pytest.raises(ValueError):
+        BreakerPolicy(failure_threshold=0)
+    with pytest.raises(ValueError):
+        BreakerPolicy(open_seconds=-1)
+
+
+def test_breaker_trips_open_at_threshold():
+    clock = SimulationClock()
+    breaker = CircuitBreaker(clock, BreakerPolicy(failure_threshold=3))
+    for _ in range(2):
+        breaker.record_failure()
+        assert breaker.state is BreakerState.CLOSED
+    breaker.record_failure()
+    assert breaker.state is BreakerState.OPEN
+    assert breaker.times_opened == 1
+
+
+def test_open_breaker_fast_fails_then_half_opens():
+    clock = SimulationClock()
+    breaker = CircuitBreaker(clock, BreakerPolicy(open_seconds=100))
+    breaker.trip_open()
+    assert not breaker.allow_attempt()
+    assert breaker.fast_fails == 1
+    assert breaker.seconds_until_probe() == 100
+    clock.advance(100)
+    assert breaker.allow_attempt()          # the half-open probe
+    assert breaker.state is BreakerState.HALF_OPEN
+
+
+def test_failed_probe_reopens_successful_probe_recloses():
+    clock = SimulationClock()
+    breaker = CircuitBreaker(clock, BreakerPolicy(open_seconds=10))
+    breaker.trip_open()
+    clock.advance(10)
+    assert breaker.allow_attempt()
+    breaker.record_failure()                # probe failed
+    assert breaker.state is BreakerState.OPEN
+    assert breaker.times_opened == 2
+    clock.advance(10)
+    assert breaker.allow_attempt()
+    breaker.record_success()                # probe succeeded
+    assert breaker.state is BreakerState.CLOSED
+    assert breaker.consecutive_failures == 0
+
+
+def test_record_forgery_counts_and_opens():
+    breaker = CircuitBreaker(SimulationClock())
+    breaker.record_forgery()
+    assert breaker.forgeries_detected == 1
+    assert breaker.state is BreakerState.OPEN
+
+
+# -- forgery cut-off against the live adversary ------------------------------
+
+def _forged_registration(use_breaker):
+    world = DRMWorld.create("test-breaker-forgery", metered=True,
+                            rsa_bits=BITS)
+    channel = AdversaryChannel(world.ri, seed="forgery")
+    channel.arm(AttackKind.CERT_SUBSTITUTION)
+    breaker = CircuitBreaker(world.clock) if use_breaker else None
+    session = RoapSession(world.agent, channel, breaker=breaker)
+    world.agent_crypto.reset_trace()
+    outcome = session.register()
+    return outcome, len(world.agent_crypto.reset_trace()), breaker
+
+
+def test_forgery_cut_off_spends_less_than_plain_retry():
+    plain, plain_ops, _ = _forged_registration(use_breaker=False)
+    cut, cut_ops, breaker = _forged_registration(use_breaker=True)
+    assert not plain.completed and not cut.completed
+    assert plain.attempts == 5              # PR-1 policy: full budget
+    assert cut.attempts == 2                # two identical TrustErrors
+    assert "consistent forgery" in cut.reason
+    assert cut_ops < plain_ops              # strictly fewer priced ops
+    assert breaker.forgeries_detected == 1
+
+
+def test_signature_failures_do_not_trigger_the_forgery_cut_off():
+    """FORGE_SIGNATURE raises SignatureError (not TrustError): the
+    forgery cut-off must not fire. The *generic* failure threshold (3
+    consecutive failures) still opens the breaker — one attempt later
+    than the trust-specific cut-off, and without a forgery verdict."""
+    world = DRMWorld.create("test-breaker-sig", metered=True,
+                            rsa_bits=BITS)
+    channel = AdversaryChannel(world.ri, seed="sig")
+    channel.arm(AttackKind.FORGE_SIGNATURE)
+    breaker = CircuitBreaker(world.clock)
+    session = RoapSession(world.agent, channel, breaker=breaker)
+    outcome = session.register()
+    assert not outcome.completed
+    assert outcome.attempts == breaker.policy.failure_threshold == 3
+    assert "consistent forgery" not in outcome.reason
+    assert breaker.forgeries_detected == 0
+
+
+# -- outage fast-fail and recovery -------------------------------------------
+
+def test_outage_fast_fail_and_recovery_after_restore():
+    world = DRMWorld.create("test-breaker-outage", metered=True,
+                            rsa_bits=BITS)
+    start = world.clock.now
+    schedule = OutageSchedule([OutageWindow(start, start + 3600)])
+    channel = OutageRIChannel(world.ri, schedule, world.clock)
+    breaker = CircuitBreaker(world.clock,
+                             BreakerPolicy(open_seconds=300))
+    session = RoapSession(world.agent, channel, breaker=breaker)
+
+    discovery = session.register()
+    assert not discovery.completed
+    assert discovery.attempts == 3          # tripped at the threshold
+    assert breaker.state is BreakerState.OPEN
+
+    world.agent_crypto.reset_trace()
+    fast = session.register()
+    assert not fast.completed
+    assert fast.attempts == 0               # refused before any attempt
+    assert "circuit open" in fast.reason
+    assert len(world.agent_crypto.reset_trace()) == 0   # zero crypto
+
+    world.clock.advance(
+        schedule.seconds_until_restore(world.clock.now))
+    restored = session.register()
+    assert restored.completed
+    assert restored.attempts == 1           # one half-open probe
+    assert breaker.state is BreakerState.CLOSED

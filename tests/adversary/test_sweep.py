@@ -1,0 +1,82 @@
+"""The zero-acceptance sweep: full corpus, every architecture priced."""
+
+import pytest
+
+from repro.adversary.attacks import ALL_ATTACKS, AttackKind
+from repro.adversary.sweep import (AttackOutcome, SweepResult,
+                                   run_attack_sweep)
+from repro.core.architecture import PAPER_PROFILES
+
+BITS = 512
+
+#: The defense each attack must die on (exception type name).
+EXPECTED_DEFENSE = {
+    AttackKind.FORGE_SIGNATURE: "SignatureError",
+    AttackKind.TAMPER_RO_RIGHTS: "SignatureError",
+    AttackKind.TAMPER_CEK: "SignatureError",
+    AttackKind.REPLAY_RESPONSE: "NonceMismatchError",
+    AttackKind.SWAP_NONCE: "NonceMismatchError",
+    AttackKind.STALE_OCSP: "SignatureError",
+    AttackKind.FUTURE_OCSP: "SignatureError",
+    AttackKind.DOWNGRADE_VERSION: "RegistrationError",
+    AttackKind.WRONG_RECIPIENT: "NonceMismatchError",
+    AttackKind.CERT_SUBSTITUTION: "TrustError",
+    AttackKind.TIME_ROLLBACK: "TrustError",
+}
+
+
+@pytest.fixture(scope="module")
+def sweep():
+    return run_attack_sweep(seed="test-sweep", rsa_bits=BITS)
+
+
+def test_zero_acceptance_over_full_corpus(sweep):
+    sweep.assert_zero_acceptance()
+    assert len(sweep.outcomes) == len(ALL_ATTACKS) >= 10
+
+
+def test_every_attack_mounted_exactly_once(sweep):
+    for outcome in sweep.outcomes:
+        assert outcome.mounted == 1, outcome.attack
+
+
+def test_defense_mapping_is_stable(sweep):
+    for outcome in sweep.outcomes:
+        assert outcome.defense == EXPECTED_DEFENSE[outcome.attack], \
+            (outcome.attack, outcome.defense, outcome.detail)
+
+
+def test_every_outcome_priced_for_all_architectures(sweep):
+    names = {profile.name for profile in PAPER_PROFILES}
+    for outcome in sweep.outcomes:
+        assert set(outcome.defender_cycles) == names
+        # The downgrade attack dies before any terminal crypto; every
+        # other attack costs the defender real cycles before rejection.
+        if outcome.attack is not AttackKind.DOWNGRADE_VERSION:
+            assert all(cycles > 0
+                       for cycles in outcome.defender_cycles.values())
+
+
+def test_sweep_is_deterministic(sweep):
+    again = run_attack_sweep(seed="test-sweep", rsa_bits=BITS,
+                             attacks=(AttackKind.CERT_SUBSTITUTION,))
+    matching = [o for o in sweep.outcomes
+                if o.attack is AttackKind.CERT_SUBSTITUTION]
+    assert matching == list(again.outcomes)
+
+
+def test_assert_zero_acceptance_flags_accepted_and_unmounted():
+    accepted = AttackOutcome(
+        attack=AttackKind.FORGE_SIGNATURE, flow="register", mounted=1,
+        rejected=False, defense="", detail="", defender_cycles={})
+    unmounted = AttackOutcome(
+        attack=AttackKind.SWAP_NONCE, flow="register", mounted=0,
+        rejected=True, defense="NonceMismatchError", detail="",
+        defender_cycles={})
+    result = SweepResult(seed="s", rsa_bits=BITS,
+                         outcomes=(accepted, unmounted))
+    assert accepted.accepted
+    with pytest.raises(AssertionError) as excinfo:
+        result.assert_zero_acceptance()
+    assert "ACCEPTED" in str(excinfo.value)
+    assert "never mounted" in str(excinfo.value)

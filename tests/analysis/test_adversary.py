@@ -1,0 +1,53 @@
+"""The adversary analysis: invariants, drain arithmetic, determinism."""
+
+import pytest
+
+from repro.analysis import adversary
+from repro.core.architecture import PAPER_PROFILES
+
+BITS = 512
+SEED = "test-analysis-adversary"
+
+
+@pytest.fixture(scope="module")
+def analysis():
+    return adversary.generate(seed=SEED, rsa_bits=BITS)
+
+
+def test_sweep_inside_the_analysis_is_zero_acceptance(analysis):
+    assert not analysis.sweep.accepted
+    assert not analysis.sweep.unmounted
+    assert len(analysis.sweep.outcomes) >= 10
+
+
+def test_drain_rows_cover_all_architectures(analysis):
+    assert [d.architecture for d in analysis.drains] \
+        == [p.name for p in PAPER_PROFILES]
+    for drain in analysis.drains:
+        assert drain.breaker_attempts < drain.retry_attempts
+        assert drain.breaker_cycles < drain.retry_cycles
+        assert drain.saved_cycles \
+            == drain.retry_cycles - drain.breaker_cycles
+        assert 0.0 < drain.saved_fraction < 1.0
+
+
+def test_outage_stats_shape(analysis):
+    outage = analysis.outage
+    assert outage.discovery_attempts > 0
+    assert outage.fast_fails > 0
+    assert outage.completed_after_restore
+    assert outage.ocsp_fresh_responses == 1
+    assert outage.ocsp_cache_hits == 1
+    assert outage.ocsp_unavailable == 1
+
+
+def test_render_is_deterministic(analysis):
+    again = adversary.generate(seed=SEED, rsa_bits=BITS)
+    assert again.render() == analysis.render()
+
+
+def test_render_mentions_every_attack(analysis):
+    text = analysis.render()
+    for outcome in analysis.sweep.outcomes:
+        assert outcome.attack.value in text
+    assert "ACCEPTED" not in text

@@ -35,6 +35,7 @@ EXPECTED_SECTIONS = (
     "## Retry overhead under loss",
     "## Durability overhead and recovery",
     "## Fleet-scale workload",
+    "## Adversary and outage degradation",
     "## Observability",
     "## Verdict",
 )

@@ -1,14 +1,18 @@
 """OCSP responder and response verification."""
 
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.core.meter import PlainCrypto
 from repro.crypto.rng import HmacDrbg
 from repro.crypto.rsa import generate_keypair
 from repro.drm.certificates import CertificationAuthority
 from repro.drm.clock import DAY
-from repro.drm.errors import CertificateRevokedError, TrustError
+from repro.drm.errors import (CertificateRevokedError, TrustError,
+                              WireDecodeError)
 from repro.drm.ocsp import (CertStatus, OCSPResponder, OCSPResponse,
+                            ocsp_response_from_bytes,
                             verify_ocsp_response)
 
 NOW = 1_100_000_000
@@ -111,3 +115,74 @@ def test_unknown_status_rejected(responder, subject_serial, crypto):
 def test_response_bytes_deterministic(responder, subject_serial):
     response = responder.respond(subject_serial, NOW)
     assert response.to_bytes() == response.to_bytes()
+
+
+def test_future_dated_response_rejected(responder, subject_serial, crypto):
+    """A pre-signed response presented 'early' (rolled-back terminal
+    clock) must not verify beyond the freshness tolerance."""
+    response = responder.respond(subject_serial, NOW + DAY)
+    with pytest.raises(TrustError, match="future-dated"):
+        verify_ocsp_response(response, subject_serial,
+                             responder.certificate, NOW, crypto)
+
+
+def test_future_dating_within_tolerance_allowed(responder, subject_serial,
+                                                crypto):
+    response = responder.respond(subject_serial, NOW + 60)
+    verify_ocsp_response(response, subject_serial,
+                         responder.certificate, NOW, crypto)
+
+
+def test_response_wire_roundtrip(responder, subject_serial):
+    response = responder.respond(subject_serial, NOW)
+    assert ocsp_response_from_bytes(response.to_bytes()) == response
+
+
+@pytest.mark.parametrize("blob", [
+    b"", b"\x00", b"not an ocsp response",
+])
+def test_malformed_bytes_raise_wire_decode_error(blob):
+    with pytest.raises(WireDecodeError):
+        ocsp_response_from_bytes(blob)
+
+
+@settings(max_examples=200)
+@given(blob=st.binary(max_size=256))
+def test_fuzzed_bytes_never_escape_the_taxonomy(blob):
+    """Arbitrary bytes either decode or raise exactly WireDecodeError —
+    never a bare KeyError/TypeError from the parser's guts."""
+    try:
+        ocsp_response_from_bytes(blob)
+    except WireDecodeError:
+        pass
+
+
+_REAL_BLOB_CACHE = []
+
+
+def _real_response_blob():
+    """One real encoded response, built lazily and cached."""
+    if not _REAL_BLOB_CACHE:
+        crypto = PlainCrypto(HmacDrbg(b"ocsp-fuzz"))
+        ca = CertificationAuthority(
+            "fuzz-ca", generate_keypair(BITS, crypto.rng), crypto,
+            now=NOW)
+        responder = OCSPResponder(
+            "fuzz-ocsp", ca, generate_keypair(BITS, crypto.rng), crypto,
+            now=NOW)
+        _REAL_BLOB_CACHE.append(responder.respond(1, NOW).to_bytes())
+    return _REAL_BLOB_CACHE[0]
+
+
+# deadline=None: the first example pays the one-off lazy key generation.
+@settings(max_examples=100, deadline=None)
+@given(cut=st.integers(min_value=0, max_value=200),
+       junk=st.binary(max_size=16))
+def test_truncated_and_spliced_real_responses(cut, junk):
+    """Mutations of a *real* encoded response stay inside the contract."""
+    blob = _real_response_blob()
+    mutated = blob[:cut] + junk + blob[cut + len(junk):]
+    try:
+        ocsp_response_from_bytes(mutated)
+    except WireDecodeError:
+        pass

@@ -398,3 +398,60 @@ def test_rep601_suppression_with_justification(tmp_path):
         """})
     assert rule_ids(result) == []
     assert len(result.suppressed) == 1
+
+
+# -- REP7xx trust boundary ---------------------------------------------------
+
+def test_rep701_flags_swallowed_trust_error(tmp_path):
+    result = lint_tree(tmp_path, {"repro/drm/v.py": """
+        def verify(chain):
+            try:
+                check_chain(chain)
+            except TrustError:
+                pass
+        """})
+    # the generic silent-pass rule fires too; REP701 is the specific one
+    assert "REP701" in rule_ids(result)
+
+
+def test_rep701_flags_counter_bump_and_tuple_catch(tmp_path):
+    result = lint_tree(tmp_path, {"repro/drm/v.py": """
+        failures = 0
+        def verify(chain):
+            global failures
+            try:
+                check_chain(chain)
+            except (ValueError, CertificateRevokedError):
+                failures += 1
+        """})
+    # not a bare pass, so only the trust-specific rule sees it
+    assert rule_ids(result) == ["REP701"]
+
+
+def test_rep701_allows_recorded_or_reraised_failures(tmp_path):
+    result = lint_tree(tmp_path, {"repro/drm/v.py": """
+        def verify(chain, breaker):
+            try:
+                check_chain(chain)
+            except TrustError as error:
+                breaker.record_failure()
+                raise
+        def probe(chain):
+            try:
+                check_chain(chain)
+            except errors.TrustError:
+                return False
+            return True
+        """})
+    assert "REP701" not in rule_ids(result)
+
+
+def test_rep701_ignores_trust_names_outside_drm(tmp_path):
+    result = lint_tree(tmp_path, {"repro/analysis/a.py": """
+        def tolerate(run):
+            try:
+                run()
+            except TrustError:
+                pass
+        """})
+    assert "REP701" not in rule_ids(result)

@@ -288,3 +288,42 @@ def test_fleet_metrics_flag(capsys, tmp_path):
     with open(metrics_path) as handle:
         data = json.load(handle)
     assert data["counters"]["fleet.devices"] == 200
+
+
+def test_adversary(capsys):
+    code, out = run_cli(capsys, "adversary", "--rsa-bits", "512",
+                        "--seed", "cli-adversary")
+    assert code == 0
+    assert "zero-acceptance sweep" in out
+    assert "REJECTED" in out and "ACCEPTED" not in out
+    assert "plain retry vs forgery cut-off" in out
+    assert "Outage degradation" in out
+
+
+def test_adversary_json(capsys):
+    code, out = run_cli(capsys, "adversary", "--rsa-bits", "512",
+                        "--seed", "cli-adversary", "--json")
+    assert code == 0
+    payload = json.loads(out)
+    assert len(payload["sweep"]["outcomes"]) >= 10
+    assert all(o["rejected"] for o in payload["sweep"]["outcomes"])
+    assert payload["drains"][0]["breaker_attempts"] \
+        < payload["drains"][0]["retry_attempts"]
+
+
+def test_fleet_adversary_fraction(capsys):
+    code, out = run_cli(capsys, "fleet", "--devices", "400",
+                        "--rsa-bits", "512", "--shard-size", "100",
+                        "--seed", "cli-fleet",
+                        "--adversary-fraction", "0.3")
+    assert code == 0
+    assert "attacked devices" in out
+    assert "cut off after 2 attempts" in out
+
+
+def test_fleet_rejects_bad_adversary_fraction(capsys):
+    code = main(["fleet", "--devices", "400",
+                 "--adversary-fraction", "1.5"])
+    err = capsys.readouterr().err
+    assert code == 2
+    assert "error:" in err

@@ -358,3 +358,51 @@ def test_crashed_devices_pay_recovery_cycles():
     assert crashy.recoveries > quiet.recoveries == 0
     for arch in ARCHES:
         assert crashy.cycles[arch].total > quiet.cycles[arch].total
+
+
+# -- adversary fraction ------------------------------------------------------
+
+def test_adversary_config_validation():
+    with pytest.raises(ValueError):
+        FleetConfig(devices=10, adversary_fraction=-0.1)
+    with pytest.raises(ValueError):
+        FleetConfig(devices=10, adversary_fraction=1.01)
+    with pytest.raises(ValueError):
+        FleetConfig(devices=10, breaker_cutoff=1)
+
+
+def test_adversary_off_preserves_the_draw_stream():
+    """adversary_fraction=0 must not consume any RNG draws: every
+    device draw is identical to the pre-adversary engine's."""
+    plain = small_config()
+    gated = small_config(adversary_fraction=0.0)
+    for index in range(60):
+        assert draw_device(plain, index) == draw_device(gated, index)
+
+
+def test_attacked_draws_are_cut_off_and_consistent():
+    config = small_config(adversary_fraction=0.5)
+    draws = [draw_device(config, index) for index in range(200)]
+    attacked = [d for d in draws if d.attacked]
+    assert 0 < len(attacked) < len(draws)
+    for draw in attacked:
+        # The breaker aborts the forged registration after the cut-off;
+        # nothing downstream of registration can have happened.
+        assert draw.registration_attempts == config.breaker_cutoff
+        assert not draw.registered
+        assert not draw.acquired and draw.acquisition_attempts == 0
+        assert not draw.crashed
+
+
+def test_attacked_devices_counted_and_shard_invariant():
+    config = small_config(adversary_fraction=0.25)
+    templates = build_cost_templates(config)
+    serial = run_fleet(config, workers=1, templates=templates)
+    sharded = run_fleet(config, workers=4, templates=templates)
+    acc = serial.accumulator
+    assert acc.attacked_devices > 0
+    assert acc.failed_registrations >= acc.attacked_devices
+    assert acc.metrics().counters["fleet.attacked_devices"] \
+        == acc.attacked_devices
+    assert sharded.accumulator.attacked_devices == acc.attacked_devices
+    assert sharded.accumulator.requests == acc.requests
