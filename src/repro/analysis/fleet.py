@@ -12,7 +12,10 @@ function of the :class:`~repro.usecases.fleet.FleetConfig`.
 """
 
 from dataclasses import dataclass
+from typing import Optional
 
+from ..sim.fleet import KernelFleetResult, run_fleet_kernel
+from ..sim.ri import RICapacity
 from ..usecases.fleet import FleetConfig, FleetResult, run_fleet
 from .common import DEFAULT_SEED
 from .formatting import format_table
@@ -24,9 +27,16 @@ REPORT_DEVICES = 20_000
 
 @dataclass
 class FleetAnalysis:
-    """The rendered fleet experiment."""
+    """The rendered fleet experiment.
+
+    ``kernel`` is present when the run used the event kernel's shared-RI
+    mode (``--kernel``): the sequential accumulator in ``result`` is
+    then exactly the kernel run's ``base`` — the kernel pass adds the
+    contention view without perturbing any sequential statistic.
+    """
 
     result: FleetResult
+    kernel: Optional[KernelFleetResult] = None
 
     def render(self) -> str:
         """Two aligned tables: terminal-side costs, RI-side load."""
@@ -90,14 +100,55 @@ class FleetAnalysis:
         ri_side = format_table(
             ("RI-side metric", "value"), ri_rows,
             title="Rights Issuer load")
-        return terminal + "\n\n" + ri_side
+        sections = [terminal, ri_side]
+        if self.kernel is not None:
+            sections.append(self._render_kernel())
+        return "\n\n".join(sections)
+
+    def _render_kernel(self) -> str:
+        """The shared-RI contention table of a ``--kernel`` run."""
+        assert self.kernel is not None
+        rows = []
+        for name in sorted(self.kernel.architectures):
+            arch = self.kernel.architectures[name]
+            rows.append((
+                name, str(arch.served), str(arch.refused),
+                "%.4f" % arch.utilization,
+                "%.4f" % arch.mean_queue_depth,
+                str(arch.peak_queue_depth),
+                "%.2f" % arch.latency_ms("p50"),
+                "%.2f" % arch.latency_ms("p95"),
+                str(arch.ocsp_fetches),
+            ))
+        capacity = self.kernel.capacity
+        bound = ("unbounded" if capacity.queue_limit is None
+                 else "queue limit %d" % capacity.queue_limit)
+        return format_table(
+            ("arch", "served", "refused", "utilization", "mean queue",
+             "peak queue", "p50 [ms]", "p95 [ms]", "OCSP fetches"),
+            rows,
+            title="Shared RI under the event kernel "
+                  "(%d signing unit%s, %s)"
+                  % (capacity.signing_units,
+                     "" if capacity.signing_units == 1 else "s", bound))
 
 
 def generate(seed: str = DEFAULT_SEED,
              devices: int = REPORT_DEVICES,
              workers: int = 1,
+             kernel: bool = False,
+             ri_capacity: RICapacity = RICapacity(),
              **config_overrides) -> FleetAnalysis:
-    """Run the fleet experiment at report scale."""
+    """Run the fleet experiment at report scale.
+
+    ``kernel=True`` additionally replays the population against one
+    shared :class:`~repro.sim.ri.RIServer` per architecture on the
+    event kernel; the sequential statistics are unchanged.
+    """
     config = FleetConfig(devices=devices, seed=seed + "/fleet",
                          **config_overrides)
+    if kernel:
+        contended = run_fleet_kernel(config, workers=workers,
+                                     capacity=ri_capacity)
+        return FleetAnalysis(result=contended.base, kernel=contended)
     return FleetAnalysis(result=run_fleet(config, workers=workers))

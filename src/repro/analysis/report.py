@@ -8,7 +8,8 @@ the in-text claims, message sizes — into a single Markdown document, and
 from dataclasses import dataclass
 
 from . import (adversary, claims, durability, figure5, figure6, figure7,
-               fleet, messages, observability, resilience, table1)
+               fleet, messages, observability, resilience, saturation,
+               table1)
 from .common import DEFAULT_SEED
 from .formatting import deviation_pct
 
@@ -82,6 +83,10 @@ def generate(seed: str = DEFAULT_SEED) -> ReproductionReport:
     population = fleet.generate(seed)
     sections.append("## Fleet-scale workload\n\n```\n%s\n```"
                     % population.render())
+
+    saturated = saturation.generate(seed)
+    sections.append("## Rights Issuer saturation\n\n```\n%s\n```"
+                    % saturated.render())
 
     attacked = adversary.generate(seed)
     sections.append("## Adversary and outage degradation\n\n```\n%s\n```"

@@ -14,7 +14,10 @@ Commands:
 * ``durability`` — write-ahead journal overhead and recovery cost.
 * ``adversary`` — active-attacker sweep (zero-acceptance invariant),
   circuit-breaker forgery drain and outage degradation.
-* ``fleet`` — simulate a large device population against one RI.
+* ``fleet`` — simulate a large device population against one RI
+  (``--kernel`` replays it on the event kernel's shared RI).
+* ``saturation`` — RI utilization/latency vs offered load per
+  architecture on the event kernel.
 * ``trace`` — run a named scenario with the cycle-timebase tracer and
   export Chrome trace-event JSON plus a metrics registry.
 * ``report`` — write the full paper-vs-measured Markdown report.
@@ -35,7 +38,8 @@ from enum import Enum
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from .analysis import (adversary, claims, durability, figure5, figure6,
-                       figure7, fleet, report, resilience, table1)
+                       figure7, fleet, report, resilience, saturation,
+                       table1)
 from .analysis.common import DEFAULT_SEED
 from .analysis.formatting import format_ms, format_table
 from .core.architecture import PAPER_PROFILES
@@ -356,8 +360,12 @@ def _build_adversary(args: argparse.Namespace) -> CommandOutput:
 
 
 def _build_fleet(args: argparse.Namespace) -> CommandOutput:
+    from .sim.ri import RICapacity
+    capacity = RICapacity(signing_units=args.ri_capacity,
+                          queue_limit=args.ri_queue_limit)
     analysis = fleet.generate(
         seed=args.seed, devices=args.devices, workers=args.workers,
+        kernel=args.kernel, ri_capacity=capacity,
         arrival_model=args.arrival, window_seconds=args.window,
         lossy_fraction=args.lossy_fraction,
         loss_rate=args.loss_rate, shard_size=args.shard_size,
@@ -373,6 +381,17 @@ def _build_fleet(args: argparse.Namespace) -> CommandOutput:
         args, "durable" if args.journaled else "full",
         args.seed + "/device", rsa_bits=args.rsa_bits))
     return "\n".join(lines), analysis
+
+
+def _build_saturation(args: argparse.Namespace) -> CommandOutput:
+    from .sim.ri import RICapacity
+    rhos = tuple(float(part) for part in args.rhos.split(","))
+    capacity = RICapacity(signing_units=args.signing_units,
+                          queue_limit=args.queue_limit)
+    analysis = saturation.generate(seed=args.seed,
+                                   requests=args.requests,
+                                   rhos=rhos, capacity=capacity)
+    return analysis.render(), analysis
 
 
 def _build_trace(args: argparse.Namespace) -> CommandOutput:
@@ -558,6 +577,37 @@ def build_parser() -> argparse.ArgumentParser:
     sub.add_argument("--trace", metavar="PATH", default=None,
                      help="write a Chrome trace of one representative "
                           "device at this seed")
+    sub.add_argument("--kernel", action="store_true",
+                     help="replay the population against one shared "
+                          "RI per architecture on the event kernel "
+                          "(adds the contention table; sequential "
+                          "statistics are unchanged)")
+    sub.add_argument("--ri-capacity", type=int, default=1,
+                     help="concurrent signing units of the shared RI "
+                          "(--kernel mode)")
+    sub.add_argument("--ri-queue-limit", type=int, default=None,
+                     help="bound the shared RI's signing queue; "
+                          "overflowing requests are refused "
+                          "(--kernel mode)")
+
+    sub = analysis_parser("saturation",
+                          "RI utilization/latency vs offered load "
+                          "per architecture (event kernel)",
+                          _build_saturation)
+    sub.add_argument("--seed", default=DEFAULT_SEED)
+    sub.add_argument("--requests", type=int,
+                     default=saturation.REPORT_REQUESTS,
+                     help="Poisson request arrivals per measurement "
+                          "point")
+    sub.add_argument("--rhos", default=",".join(
+        "%g" % rho for rho in saturation.DEFAULT_RHOS),
+                     help="comma-separated offered loads as fractions "
+                          "of nominal capacity")
+    sub.add_argument("--signing-units", type=int, default=1,
+                     help="concurrent signing units of the RI")
+    sub.add_argument("--queue-limit", type=int, default=None,
+                     help="bound the signing queue; overflowing "
+                          "requests are refused")
 
     sub = analysis_parser("trace",
                           "trace a named scenario on the cycle "

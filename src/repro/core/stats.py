@@ -151,6 +151,56 @@ class StreamingStats:
         )
 
 
+@dataclass
+class TimeWeightedStats:
+    """Exact time-average of an integer step function.
+
+    The simulation kernel (:mod:`repro.sim`) needs time-averaged queue
+    depths and server occupancies: quantities of the form
+    ``(1/T) * integral of N(t) dt`` where ``N(t)`` is piecewise constant
+    between events. With integer timestamps and integer values the
+    integral is an exact integer area, so Little's-law identities hold
+    bit-exactly instead of approximately.
+
+    Unlike :class:`StreamingStats` this accumulator is *not* mergeable:
+    two observers of the same timeline would double-count, and observers
+    of different timelines share no common time axis.
+    """
+
+    area: int = 0
+    maximum: int = 0
+    _value: int = 0
+    _since: int = 0
+
+    def observe(self, value: int, now: int) -> None:
+        """Record that the tracked quantity became ``value`` at ``now``."""
+        if not isinstance(value, int) or isinstance(value, bool):
+            raise TypeError("time-weighted values must be integers")
+        if now < self._since:
+            raise ValueError("observations must not move backwards in "
+                             "time")
+        self.area += self._value * (now - self._since)
+        self._value = value
+        self._since = now
+        if value > self.maximum:
+            self.maximum = value
+
+    @property
+    def value(self) -> int:
+        """The current value of the step function."""
+        return self._value
+
+    def area_until(self, now: int) -> int:
+        """Exact integral of the step function over ``[0, now]``."""
+        if now < self._since:
+            raise ValueError("cannot integrate into the past")
+        return self.area + self._value * (now - self._since)
+
+    def mean(self, now: int) -> float:
+        """Time-average value over ``[0, now]`` (0.0 on an empty span)."""
+        return self.area_until(now) / now if now else 0.0
+
+
 def merge_all(accumulators: Iterable[StreamingStats]) -> StreamingStats:
     """Left fold of :meth:`StreamingStats.merge` over ``accumulators``."""
     result = StreamingStats()

@@ -107,6 +107,18 @@ class Tracer:
         self._seq += 1
         return self._seq
 
+    def advance_to(self, now: int) -> None:
+        """Move the virtual clock forward to an externally-owned time.
+
+        The simulation kernel (:mod:`repro.sim`) owns its own virtual
+        timeline; this lets it stamp spans and events on a tracer at
+        kernel time instead of cumulative priced-operation time. The
+        clock never moves backwards — stamping an older time is a no-op,
+        keeping exports monotonic.
+        """
+        if now > self.now:
+            self.now = now
+
     # -- structural spans ------------------------------------------------
     @contextmanager
     def span(self, name: str, track: str = DEFAULT_TRACK,
@@ -249,6 +261,9 @@ class NullTracer:
         return None
 
     def on_record(self, record: OperationRecord) -> None:
+        return None
+
+    def advance_to(self, now: int) -> None:
         return None
 
 

@@ -1,0 +1,370 @@
+"""Deterministic discrete-event kernel: one heap, one virtual clock.
+
+The fleet engine (:mod:`repro.usecases.fleet`) prices devices as if each
+one had the Rights Issuer to itself — embarrassingly parallel, which is
+exactly why it cannot express contention, queueing or saturation. This
+kernel is the shared-clock substrate those phenomena need:
+
+* **One binary event heap** keyed by ``(virtual_time, seq)``. ``seq`` is
+  a monotone schedule counter, so simultaneous events pop in the order
+  they were scheduled — FIFO-stable tie-breaking, never hash order.
+* **Processes are generators.** A process yields :class:`Wait`,
+  :class:`Acquire` and :class:`Release` commands; the kernel resumes it
+  when the wait elapses or the resource grants. Nothing preemptive,
+  nothing threaded: a run is a single deterministic fold over the heap.
+* **Seeded per-entity DRBG streams.** :meth:`Kernel.stream` derives a
+  ``random.Random`` from ``(kernel seed, stream name)`` — the same
+  derivation idiom as the fleet's per-device draws, so no entity's
+  randomness depends on any other entity's schedule.
+
+**Determinism contract.** A kernel run is a pure function of
+``(seed, registered processes)``: registration *order* does not matter
+(pre-run spawns are sorted by ``(start, name)`` before seq assignment),
+virtual time is integer ticks (no float accumulation order), and the
+event log — every spawn, wait, grant, release and exit — is
+bit-identical across runs, worker counts and pause/resume boundaries.
+``tests/sim/test_determinism.py`` holds these properties under
+Hypothesis; :meth:`Kernel.state_digest` exposes a stable digest of
+``(clock, heap, DRBG states, queues)`` so paused kernels can be compared
+mid-flight.
+
+Tick units are the caller's choice; :mod:`repro.sim.ri` uses one tick
+per RI clock cycle so service times come straight from the priced
+:class:`~repro.core.costs.CostTable`.
+"""
+
+import heapq
+from dataclasses import dataclass
+from random import Random
+from typing import Any, Dict, Generator, List, Optional, Tuple
+
+from ..core.stats import StreamingStats, TimeWeightedStats
+# repro: allow[REP201] -- state digests are simulation bookkeeping, not protocol crypto; pricing them would distort every priced artifact
+from ..crypto.sha1 import sha1
+
+#: Sentinel sent into a process whose Acquire was refused (queue full).
+REJECTED = object()
+
+#: Process generator type: yields commands, receives grants.
+ProcessBody = Generator[Any, Any, Any]
+
+
+@dataclass(frozen=True)
+class Wait:
+    """Suspend the yielding process for ``ticks`` of virtual time."""
+
+    ticks: int
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.ticks, int) or isinstance(self.ticks, bool):
+            raise TypeError("waits must be integer ticks; quantize "
+                            "continuous delays before yielding")
+        if self.ticks < 0:
+            raise ValueError("a process cannot wait backwards in time")
+
+
+@dataclass(frozen=True)
+class Acquire:
+    """Request one unit of ``resource``; resumes with a grant token
+    (or :data:`REJECTED` when the bounded queue is full)."""
+
+    resource: "Resource"
+
+
+@dataclass(frozen=True)
+class Release:
+    """Return one previously granted unit of ``resource``."""
+
+    resource: "Resource"
+
+
+class Process:
+    """One schedulable entity: a named generator plus its bookkeeping."""
+
+    __slots__ = ("name", "body", "state", "result", "_inbox")
+
+    def __init__(self, name: str, body: ProcessBody) -> None:
+        self.name = name
+        self.body = body
+        self.state = "pending"
+        self.result: Any = None
+        self._inbox: Any = None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "Process(%r, %s)" % (self.name, self.state)
+
+
+class Kernel:
+    """The discrete-event scheduler; see the module docstring."""
+
+    def __init__(self, seed: str = "repro-sim",
+                 record_log: bool = True) -> None:
+        self.seed = seed
+        self.record_log = record_log
+        self.now = 0
+        self._seq = 0
+        self._heap: List[Tuple[int, int, Process]] = []
+        self._pending: List[Tuple[int, Process]] = []
+        self._processes: Dict[str, Process] = {}
+        self._streams: Dict[str, Random] = {}
+        self._resources: List["Resource"] = []
+        self._running = False
+        self.log: List[Tuple[Any, ...]] = []
+        self.events_executed = 0
+
+    # -- logging ----------------------------------------------------------
+    def _log(self, kind: str, process: str, *detail: Any) -> None:
+        if self.record_log:
+            self.log.append((self.now, kind, process) + detail)
+
+    def event_log(self) -> Tuple[Tuple[Any, ...], ...]:
+        """The immutable event log (bit-identical per seed and spawns)."""
+        return tuple(self.log)
+
+    # -- entity plumbing --------------------------------------------------
+    def stream(self, name: str) -> Random:
+        """The seeded DRBG stream for entity ``name`` (memoized).
+
+        Derived from ``(kernel seed, name)`` alone — independent of
+        schedule order, other streams and first-use time.
+        """
+        rng = self._streams.get(name)
+        if rng is None:
+            rng = self._streams[name] = Random("%s/%s" % (self.seed,
+                                                          name))
+        return rng
+
+    def spawn(self, name: str, body: ProcessBody,
+              at: int = 0) -> Process:
+        """Register process ``name`` to start ``at`` ticks from zero.
+
+        Pre-run spawns are order-independent (sorted by ``(at, name)``
+        before scheduling); spawns issued by a running process start at
+        the current virtual time plus ``at`` and inherit the running
+        process's deterministic position in the schedule.
+        """
+        if name in self._processes:
+            raise ValueError("process name %r already registered" % name)
+        if at < 0:
+            raise ValueError("a process cannot start in the past")
+        process = Process(name, body)
+        self._processes[name] = process
+        if self._running:
+            # A spawn issued by a running process inherits that
+            # process's deterministic position in the schedule — it is
+            # scheduled (and logged) immediately.
+            self._log_at(self.now + at, "spawn", name)
+            self._schedule(process, self.now + at, None)
+        else:
+            self._pending.append((self.now + at, process))
+        return process
+
+    def process(self, name: str) -> Process:
+        """Look up a registered process by name."""
+        return self._processes[name]
+
+    def _schedule(self, process: Process, at: int, inbox: Any) -> None:
+        self._seq += 1
+        process._inbox = inbox
+        heapq.heappush(self._heap, (at, self._seq, process))
+
+    def _flush_pending(self) -> None:
+        # Sorting by (start, name) before seq assignment is what makes
+        # registration order immaterial: any permutation of the same
+        # spawn set schedules identically.
+        self._pending.sort(key=lambda entry: (entry[0], entry[1].name))
+        for at, process in self._pending:
+            self._log_at(at, "spawn", process.name)
+            self._schedule(process, at, None)
+        self._pending.clear()
+
+    def _log_at(self, at: int, kind: str, process: str,
+                *detail: Any) -> None:
+        if self.record_log:
+            self.log.append((at, kind, process) + detail)
+
+    # -- the event loop ---------------------------------------------------
+    def run(self, until: Optional[int] = None) -> int:
+        """Execute events until the heap drains (or ``until`` passes).
+
+        Returns the virtual time at exit. Pausing with ``until`` and
+        calling ``run`` again replays exactly the schedule an unpaused
+        run would have executed — the pause is invisible to processes.
+        """
+        if until is not None and until < self.now:
+            raise ValueError("cannot run until a time already passed")
+        self._flush_pending()
+        self._running = True
+        try:
+            while self._heap:
+                at, _seq, process = self._heap[0]
+                if until is not None and at > until:
+                    self.now = until
+                    return self.now
+                heapq.heappop(self._heap)
+                self.now = at
+                self.events_executed += 1
+                self._step(process)
+        finally:
+            self._running = False
+        if until is not None and until > self.now:
+            self.now = until
+        return self.now
+
+    def _step(self, process: Process) -> None:
+        process.state = "running"
+        inbox, process._inbox = process._inbox, None
+        try:
+            command = process.body.send(inbox)
+        except StopIteration as stop:
+            process.state = "done"
+            process.result = stop.value
+            self._log("exit", process.name)
+            return
+        if isinstance(command, Wait):
+            process.state = "waiting"
+            self._log("wait", process.name, command.ticks)
+            self._schedule(process, self.now + command.ticks, None)
+        elif isinstance(command, Acquire):
+            command.resource._request(process)
+        elif isinstance(command, Release):
+            command.resource._release(process)
+        else:
+            raise TypeError(
+                "process %r yielded %r; expected Wait, Acquire or "
+                "Release" % (process.name, command))
+
+    # -- snapshots --------------------------------------------------------
+    def state_digest(self) -> str:
+        """A stable hex digest of the kernel's complete dynamic state.
+
+        Two kernels with equal digests are in the same state: same
+        clock, same heap (keys and process names), same DRBG stream
+        states, same resource occupancy and queues. Used by the
+        pause/resume property tests to prove a paused kernel is
+        byte-for-byte the kernel an unpaused run passes through.
+        """
+        heap = sorted((at, seq, process.name, process.state)
+                      for at, seq, process in self._heap)
+        pending = sorted((at, process.name)
+                         for at, process in self._pending)
+        streams = [(name, self._streams[name].getstate())
+                   for name in sorted(self._streams)]
+        resources = [resource._state_key()
+                     for resource in self._resources]
+        blob = repr((self.now, self._seq, heap, pending, streams,
+                     resources)).encode("utf-8")
+        return sha1(blob).hex()
+
+
+class Resource:
+    """A bounded pool of identical servers with a FIFO grant queue.
+
+    ``capacity`` units serve concurrently; further :class:`Acquire`
+    requests queue in arrival order. A ``queue_limit`` bounds the queue:
+    requests beyond it resume immediately with :data:`REJECTED` instead
+    of waiting — the deterministic analogue of a connection-refused
+    front-end.
+
+    Occupancy and queue depth are tracked as exact integer areas
+    (:class:`~repro.core.stats.TimeWeightedStats`), and per-grant queue
+    waits as an exact distribution
+    (:class:`~repro.core.stats.StreamingStats`), so Little's-law
+    identities over a drained run hold bit-exactly.
+    """
+
+    def __init__(self, kernel: Kernel, name: str, capacity: int = 1,
+                 queue_limit: Optional[int] = None) -> None:
+        if capacity < 1:
+            raise ValueError("a resource needs at least one server")
+        if queue_limit is not None and queue_limit < 0:
+            raise ValueError("the queue limit must be non-negative")
+        self.kernel = kernel
+        self.name = name
+        self.capacity = capacity
+        self.queue_limit = queue_limit
+        self._busy = 0
+        self._queue: List[Tuple[Process, int]] = []
+        self.grants = 0
+        self.rejections = 0
+        self.busy_servers = TimeWeightedStats()
+        self.queue_depth = TimeWeightedStats()
+        self.wait_ticks = StreamingStats()
+        kernel._resources.append(self)
+
+    # -- kernel-facing mechanics ------------------------------------------
+    def _grant(self, process: Process, waited: int) -> None:
+        self._busy += 1
+        self.busy_servers.observe(self._busy, self.kernel.now)
+        self.grants += 1
+        self.wait_ticks.add(waited)
+        process.state = "granted"
+        self.kernel._log("grant", process.name, self.name, waited)
+        self.kernel._schedule(process, self.kernel.now, self)
+
+    def _request(self, process: Process) -> None:
+        now = self.kernel.now
+        if self._busy < self.capacity and not self._queue:
+            self._grant(process, 0)
+        elif (self.queue_limit is not None
+              and len(self._queue) >= self.queue_limit):
+            self.rejections += 1
+            process.state = "rejected"
+            self.kernel._log("reject", process.name, self.name)
+            self.kernel._schedule(process, now, REJECTED)
+        else:
+            self._queue.append((process, now))
+            self.queue_depth.observe(len(self._queue), now)
+            process.state = "queued"
+            self.kernel._log("enqueue", process.name, self.name)
+
+    def _release(self, process: Process) -> None:
+        if self._busy < 1:
+            raise ValueError(
+                "process %r released %r, which has no unit out"
+                % (process.name, self.name))
+        now = self.kernel.now
+        self._busy -= 1
+        self.busy_servers.observe(self._busy, now)
+        self.kernel._log("release", process.name, self.name)
+        # The releasing process resumes first (it was scheduled before
+        # the waiter it unblocks), then the head-of-line waiter — both
+        # at the current tick, ordered by seq: FIFO, never hash order.
+        self.kernel._schedule(process, now, None)
+        if self._queue:
+            waiter, enqueued = self._queue.pop(0)
+            self.queue_depth.observe(len(self._queue), now)
+            self._grant(waiter, now - enqueued)
+
+    # -- statistics -------------------------------------------------------
+    @property
+    def busy(self) -> int:
+        """Servers currently serving."""
+        return self._busy
+
+    @property
+    def queued(self) -> int:
+        """Requests currently waiting in the queue."""
+        return len(self._queue)
+
+    def utilization(self, span: Optional[int] = None) -> float:
+        """Mean fraction of servers busy over ``[0, span]``."""
+        span = self.kernel.now if span is None else span
+        if not span:
+            return 0.0
+        return self.busy_servers.area_until(span) / (span * self.capacity)
+
+    def mean_queue_depth(self, span: Optional[int] = None) -> float:
+        """Time-average queue length over ``[0, span]``."""
+        span = self.kernel.now if span is None else span
+        return self.queue_depth.mean(span)
+
+    def _state_key(self) -> Tuple[Any, ...]:
+        return (self.name, self._busy,
+                tuple((process.name, enqueued)
+                      for process, enqueued in self._queue))
+
+
+def drain(kernel: Kernel) -> int:
+    """Run ``kernel`` to an empty heap; returns the final virtual time."""
+    return kernel.run()

@@ -1,0 +1,286 @@
+"""A concurrent Rights Issuer service on the event kernel.
+
+The paper prices the *terminal's* crypto and never the server's — but a
+deployed OMA DRM 2 service saturates on the RI side first: every
+RegistrationResponse and every RO Response carries an RSA signature, the
+RI consults OCSP for its own certificate status, and the replay cache it
+checks nonces against grows with every served request. :class:`RIServer`
+models that capacity explicitly:
+
+* a bounded **signing queue** (:class:`~repro.sim.kernel.Resource`) with
+  ``capacity`` concurrent signing units and an optional queue limit
+  (requests beyond it are refused, the deterministic analogue of a
+  connection-refused front-end);
+* **service times priced from Table 1**: each request kind expands to
+  the RSA/SHA-1/HMAC operations the RI performs for it, priced by the
+  same :class:`~repro.core.costs.CostTable` +
+  :class:`~repro.core.architecture.ArchitectureProfile` machinery as the
+  terminal-side model — one tick of kernel time is one RI clock cycle;
+* **OCSP fetch latency**: the RI refreshes its cached OCSP assertion
+  when it has aged past ``ocsp_validity_seconds``, spending
+  ``ocsp_fetch_ms`` of pure latency on the signing unit it holds (the
+  same degraded-freshness window :mod:`repro.adversary.outage` models
+  from the availability side);
+* **replay-cache pressure**: every served request grows the nonce
+  cache; lookups cost one HMAC probe plus a per-probe SHA-1 tree walk
+  that deepens logarithmically with the cache population.
+
+Per-request queue waits and sojourn latencies land in exact
+:class:`~repro.core.stats.StreamingStats` (integer ticks), counters and
+histograms in a :class:`~repro.obs.metrics.MetricsRegistry`, and — when
+a tracer is attached — each served request becomes a span on the shared
+virtual clock via :meth:`~repro.obs.tracer.Tracer.advance_to`.
+"""
+
+import math
+from dataclasses import dataclass
+from typing import Any, Dict, Generator, Optional, Tuple
+
+from ..core.architecture import ArchitectureProfile
+from ..core.costs import PAPER_TABLE1, CostTable
+from ..core.stats import StreamingStats
+from ..core.trace import Algorithm, OperationRecord, Phase
+from ..obs.metrics import MetricsRegistry
+from ..obs.tracer import NULL_TRACER
+from .kernel import REJECTED, Acquire, Kernel, Release, Resource, Wait
+
+#: Request kinds the RI serves, with the ROAP pass each one models.
+REQUEST_KINDS = ("hello", "registration", "acquisition")
+
+#: Octets of ROAP message body the RI hashes per request kind (canonical
+#: sizes of the seed worlds' wire messages, rounded to a stable figure —
+#: hashing is a rounding error next to the RSA work either way).
+_MESSAGE_OCTETS = {"hello": 256, "registration": 2048,
+                   "acquisition": 1536}
+
+#: Default OCSP responder round-trip, in milliseconds of pure latency.
+DEFAULT_OCSP_FETCH_MS = 50.0
+
+#: Default validity window of a cached OCSP assertion, in seconds.
+DEFAULT_OCSP_VALIDITY_SECONDS = 300
+
+
+def _blocks_128(octets: int) -> int:
+    """128-bit units covering ``octets`` (Table 1 normalization)."""
+    return -(-octets * 8 // 128)
+
+
+def service_records(kind: str) -> Tuple[OperationRecord, ...]:
+    """The crypto the RI performs to serve one ``kind`` request.
+
+    * ``hello`` — parse and answer a DeviceHello: hashing only.
+    * ``registration`` — verify the device's signed RegistrationRequest
+      (RSA public), hash the exchange, and sign the
+      RegistrationResponse (RSA private).
+    * ``acquisition`` — verify the signed RO Request (RSA public), wrap
+      the REK/MAC material (AES), MAC the protected RO (HMAC), and sign
+      the RO Response (RSA private).
+
+    Replay-cache and OCSP costs are *not* here — they depend on server
+    state and are added by :meth:`RIServer.service_ticks`.
+    """
+    if kind not in _MESSAGE_OCTETS:
+        raise ValueError("unknown request kind %r (expected one of %s)"
+                         % (kind, ", ".join(REQUEST_KINDS)))
+    octets = _MESSAGE_OCTETS[kind]
+    hash_record = OperationRecord(
+        algorithm=Algorithm.SHA1, phase=Phase.REGISTRATION,
+        label="ri-%s-hash" % kind, invocations=1,
+        blocks=_blocks_128(octets))
+    if kind == "hello":
+        return (hash_record,)
+    if kind == "registration":
+        return (
+            hash_record,
+            OperationRecord(algorithm=Algorithm.RSA_PUBLIC,
+                            phase=Phase.REGISTRATION,
+                            label="ri-verify-request", invocations=1,
+                            blocks=1),
+            OperationRecord(algorithm=Algorithm.RSA_PRIVATE,
+                            phase=Phase.REGISTRATION,
+                            label="ri-sign-response", invocations=1,
+                            blocks=1),
+        )
+    assert kind == "acquisition"
+    return (
+        OperationRecord(algorithm=Algorithm.SHA1,
+                        phase=Phase.ACQUISITION,
+                        label="ri-%s-hash" % kind, invocations=1,
+                        blocks=_blocks_128(octets)),
+        OperationRecord(algorithm=Algorithm.RSA_PUBLIC,
+                        phase=Phase.ACQUISITION,
+                        label="ri-verify-request", invocations=1,
+                        blocks=1),
+        OperationRecord(algorithm=Algorithm.AES_ENCRYPT,
+                        phase=Phase.ACQUISITION,
+                        label="ri-wrap-rek", invocations=1,
+                        blocks=3),
+        OperationRecord(algorithm=Algorithm.HMAC_SHA1,
+                        phase=Phase.ACQUISITION,
+                        label="ri-mac-ro", invocations=1,
+                        blocks=_blocks_128(octets)),
+        OperationRecord(algorithm=Algorithm.RSA_PRIVATE,
+                        phase=Phase.ACQUISITION,
+                        label="ri-sign-response", invocations=1,
+                        blocks=1),
+    )
+
+
+@dataclass(frozen=True)
+class RICapacity:
+    """Sizing of one RI deployment: signing units and queue bound."""
+
+    signing_units: int = 1
+    queue_limit: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.signing_units < 1:
+            raise ValueError("the RI needs at least one signing unit")
+        if self.queue_limit is not None and self.queue_limit < 0:
+            raise ValueError("the queue limit must be non-negative")
+
+
+class RIServer:
+    """One Rights Issuer instance serving requests on the kernel.
+
+    Device processes drive it with ``yield from ri.serve(kind)``; the
+    returned value is the request's sojourn latency in ticks, or
+    ``None`` when the bounded queue refused the request.
+    """
+
+    def __init__(self, kernel: Kernel, profile: ArchitectureProfile,
+                 cost_table: CostTable = PAPER_TABLE1,
+                 capacity: RICapacity = RICapacity(),
+                 ocsp_fetch_ms: float = DEFAULT_OCSP_FETCH_MS,
+                 ocsp_validity_seconds: int =
+                 DEFAULT_OCSP_VALIDITY_SECONDS,
+                 replay_pressure: bool = True,
+                 tracer=NULL_TRACER) -> None:
+        self.kernel = kernel
+        self.profile = profile
+        self.cost_table = cost_table
+        self.capacity = capacity
+        self.tracer = tracer
+        self.signing = Resource(kernel, "ri.signing",
+                                capacity=capacity.signing_units,
+                                queue_limit=capacity.queue_limit)
+        self.ticks_per_second = profile.clock_hz
+        self.ocsp_fetch_ticks = int(round(
+            ocsp_fetch_ms / 1000.0 * self.ticks_per_second))
+        self.ocsp_validity_ticks = (ocsp_validity_seconds
+                                    * self.ticks_per_second)
+        self.replay_pressure = replay_pressure
+        self._ocsp_fetched_at: Optional[int] = None
+        self._base_ticks = {
+            kind: sum(cost_table.cycles(record,
+                                        profile.implementation(
+                                            record.algorithm))
+                      for record in service_records(kind))
+            for kind in REQUEST_KINDS
+        }
+        self.replay_entries = 0
+        self.ocsp_fetches = 0
+        self.served = 0
+        self.refused = 0
+        self.latency = StreamingStats()
+        self.latency_by_kind: Dict[str, StreamingStats] = {
+            kind: StreamingStats() for kind in REQUEST_KINDS}
+        self.metrics = MetricsRegistry()
+
+    # -- pricing ----------------------------------------------------------
+    def base_ticks(self, kind: str) -> int:
+        """State-free service demand of ``kind``: pure Table 1 pricing,
+        no OCSP refresh, no replay-cache probe."""
+        return self._base_ticks[kind]
+
+    def replay_probe_ticks(self) -> int:
+        """Cycles to check a nonce against the current replay cache.
+
+        One keyed HMAC over the nonce plus a hash per level of a
+        balanced lookup structure: ``ceil(log2(entries + 1))`` SHA-1
+        invocations — the cache-pressure term that makes long-lived RI
+        instances measurably slower per request.
+        """
+        table = self.cost_table
+        impl = self.profile.implementation
+        hmac = table.cost(Algorithm.HMAC_SHA1,
+                          impl(Algorithm.HMAC_SHA1)).cycles(1, 2)
+        depth = math.ceil(math.log2(self.replay_entries + 1)) \
+            if self.replay_entries else 0
+        probe = table.cost(Algorithm.SHA1,
+                           impl(Algorithm.SHA1)).cycles(depth, depth * 2)
+        return hmac + probe
+
+    def service_ticks(self, kind: str) -> int:
+        """Total signing-unit occupancy to serve ``kind`` right now.
+
+        Stateful: includes an OCSP refresh when the cached assertion
+        has aged out, and the replay-cache probe at the current cache
+        population. Pure Table 1 pricing otherwise.
+        """
+        ticks = self._base_ticks[kind]
+        if self.replay_pressure and kind != "hello":
+            ticks += self.replay_probe_ticks()
+        if kind == "registration":
+            now = self.kernel.now
+            if (self._ocsp_fetched_at is None
+                    or now - self._ocsp_fetched_at
+                    > self.ocsp_validity_ticks):
+                ticks += self.ocsp_fetch_ticks
+                self._ocsp_fetched_at = now
+                self.ocsp_fetches += 1
+        return ticks
+
+    # -- the serving protocol ---------------------------------------------
+    def serve(self, kind: str) -> Generator[Any, Any, Optional[int]]:
+        """Serve one request; ``yield from`` this in a device process.
+
+        Returns the request's sojourn latency in ticks (queue wait plus
+        service), or ``None`` when the queue refused it.
+        """
+        if kind not in self._base_ticks:
+            raise ValueError("unknown request kind %r (expected one of "
+                             "%s)" % (kind, ", ".join(REQUEST_KINDS)))
+        arrived = self.kernel.now
+        grant = yield Acquire(self.signing)
+        if grant is REJECTED:
+            self.refused += 1
+            self.metrics.counter("ri.refused")
+            self.metrics.counter("ri.refused.%s" % kind)
+            return None
+        waited = self.kernel.now - arrived
+        ticks = self.service_ticks(kind)
+        self.tracer.advance_to(self.kernel.now)
+        with self.tracer.span("ri.serve.%s" % kind, track="ri",
+                              waited_ticks=waited) as span:
+            yield Wait(ticks)
+            self.tracer.advance_to(self.kernel.now)
+            span.set("service_ticks", ticks)
+        yield Release(self.signing)
+        latency = self.kernel.now - arrived
+        if kind != "hello":
+            self.replay_entries += 1
+        self.served += 1
+        self.latency.add(latency)
+        self.latency_by_kind[kind].add(latency)
+        self.metrics.counter("ri.served")
+        self.metrics.counter("ri.served.%s" % kind)
+        self.metrics.histogram("ri.wait_ticks", waited)
+        self.metrics.histogram("ri.latency_ticks.%s" % kind, latency)
+        self.metrics.gauge("ri.queue_peak", self.signing.queue_depth
+                           .maximum)
+        return latency
+
+    # -- aggregate views --------------------------------------------------
+    def utilization(self) -> float:
+        """Mean fraction of signing units busy so far."""
+        return self.signing.utilization()
+
+    def mean_queue_depth(self) -> float:
+        """Time-average signing-queue length so far."""
+        return self.signing.mean_queue_depth()
+
+    def latency_ms(self, summary_attr: str = "mean") -> float:
+        """A latency summary converted to milliseconds."""
+        value = getattr(self.latency.summary(), summary_attr) or 0
+        return value / self.ticks_per_second * 1000.0

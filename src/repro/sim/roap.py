@@ -1,0 +1,250 @@
+"""Protocol episodes on the kernel — the equivalence bridge.
+
+The kernel gives the repository concurrency; this module proves the
+concurrency costs nothing in fidelity. A *device episode* is the full
+consumption process one terminal runs — register, acquire, install,
+consume — through the real protocol stack (:class:`~repro.drm.session
+.RoapSession` over a clean, faulty or outage-scheduled channel, with or
+without a :class:`~repro.drm.session.CircuitBreaker`), with the agent's
+crypto metered. :func:`run_episode` executes it sequentially, exactly
+like every pre-kernel test and analysis; :func:`run_kernel_episode`
+executes the *same* episode as a kernel process.
+
+The composition rule that makes both produce bit-identical traces: an
+episode runs **synchronously inside one kernel event** (the protocol
+stack is ordinary blocking code), and the simulation-clock seconds it
+consumed — backoff waits, channel timeouts, breaker cool-downs — are
+then mirrored onto the kernel heap as one :class:`~repro.sim.kernel
+.Wait` per flow, at one tick per second. The kernel never reaches into
+the episode's seeds, clocks or channels; it only spaces episodes on the
+shared timeline. A contention-free single device therefore produces the
+*same* metered trace — and hence the exact same
+:class:`~repro.core.model.CostBreakdown` under every architecture — as
+the sequential run; ``tests/sim/test_equivalence.py`` holds this
+exactly for clean, lossy, and outage-plus-breaker channels.
+"""
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Generator, Optional, Tuple
+
+from ..adversary.outage import OutageRIChannel, OutageSchedule, OutageWindow
+from ..core.architecture import ArchitectureProfile
+from ..core.model import CostBreakdown, PerformanceModel
+from ..core.trace import OperationTrace
+from ..drm.rel import play_count
+from ..drm.roap.faults import FaultPlan, FaultyChannel
+from ..drm.roap.wire import WireChannel
+from ..drm.session import (BreakerPolicy, CircuitBreaker, RetryPolicy,
+                           RoapSession, SessionOutcome)
+from ..usecases.world import RSA_BITS, DRMWorld
+from .kernel import Kernel, Wait
+
+#: Retry policy used by default in episode specs: small backoffs so
+#: lossy episodes finish in simulated minutes, deterministic jitter.
+EPISODE_RETRIES = RetryPolicy(max_attempts=5, base_backoff_seconds=1,
+                              jitter_seconds=1)
+
+
+@dataclass(frozen=True)
+class EpisodeSpec:
+    """Everything that determines one device episode, and nothing else.
+
+    The spec is deliberately a value object: the sequential and the
+    kernel runner both build their world from it independently, so
+    nothing mutable can leak between the two executions being compared.
+    """
+
+    seed: str = "repro-sim-episode"
+    rsa_bits: int = RSA_BITS
+    content_octets: int = 4096
+    plays: int = 5
+    accesses: int = 1
+    #: Message loss rate of the bearer; 0.0 selects a clean wire.
+    loss_rate: float = 0.0
+    fault_seed: str = "sim-episode-faults"
+    #: RI downtime windows as (start, end) second pairs *relative to
+    #: the episode's start* (the simulation clock begins at the DRM
+    #: epoch, not zero); non-empty selects an outage channel
+    #: (overrides ``loss_rate``).
+    outages: Tuple[Tuple[int, int], ...] = ()
+    #: Attach a circuit breaker (outage fast-fail + forgery cut-off).
+    breaker: bool = False
+    breaker_policy: BreakerPolicy = BreakerPolicy()
+    retry: RetryPolicy = EPISODE_RETRIES
+
+    def __post_init__(self) -> None:
+        if self.accesses < 0 or self.plays < 1:
+            raise ValueError("plays must be positive and accesses "
+                             "non-negative")
+        if self.accesses > self.plays:
+            raise ValueError("cannot access more times than the "
+                             "license permits")
+
+
+@dataclass
+class Episode:
+    """A wired-up episode, ready to run: world, session, identifiers."""
+
+    spec: EpisodeSpec
+    world: DRMWorld
+    session: RoapSession
+    ro_id: str
+    content_id: str
+
+
+@dataclass
+class EpisodeResult:
+    """The terminal outcome and priced trace of one device episode."""
+
+    spec: EpisodeSpec
+    register: SessionOutcome
+    acquire: Optional[SessionOutcome]
+    installed: bool
+    accesses: int
+    elapsed_seconds: int
+    trace: OperationTrace
+    flow_seconds: Dict[str, int] = field(default_factory=dict)
+
+    def breakdown(self, profile: ArchitectureProfile) -> CostBreakdown:
+        """Price the episode's metered trace under one architecture."""
+        return PerformanceModel().evaluate(self.trace, profile)
+
+
+def build_episode(spec: EpisodeSpec) -> Episode:
+    """Construct the world, channel and session one spec describes."""
+    world = DRMWorld.create(seed=spec.seed, metered=True,
+                            rsa_bits=spec.rsa_bits)
+    content_id = "cid:%s" % spec.seed
+    ro_id = "ro:%s" % spec.seed
+    world.ci.publish(content_id, "audio/mpeg",
+                     b"\x5a" * spec.content_octets,
+                     "http://ri.example/shop")
+    world.ri.add_offer(ro_id, world.ci.negotiate_license(content_id),
+                       play_count(spec.plays))
+    if spec.outages:
+        epoch = world.clock.now
+        schedule = OutageSchedule([OutageWindow(epoch + start,
+                                                epoch + end)
+                                   for start, end in spec.outages])
+        channel: WireChannel = OutageRIChannel(world.ri, schedule,
+                                               world.clock)
+    elif spec.loss_rate > 0.0:
+        plan = FaultPlan.lossy(spec.fault_seed, spec.loss_rate)
+        channel = FaultyChannel(world.ri, plan, clock=world.clock)
+    else:
+        channel = WireChannel(world.ri)
+    breaker = (CircuitBreaker(world.clock, spec.breaker_policy)
+               if spec.breaker else None)
+    session = RoapSession(world.agent, channel, spec.retry,
+                          name="session/%s" % spec.seed,
+                          breaker=breaker)
+    return Episode(spec=spec, world=world, session=session, ro_id=ro_id,
+                   content_id=content_id)
+
+
+def _flow_steps(episode: Episode):
+    """The episode's flows as (label, callable) pairs, in order.
+
+    Each callable runs one protocol flow synchronously and returns
+    whether the episode can continue past it. Shared by the sequential
+    and the kernel runner, so the two cannot drift apart.
+    """
+    spec = episode.spec
+    world = episode.world
+    state: Dict[str, Any] = {"register": None, "acquire": None,
+                             "installed": False, "accesses": 0}
+
+    def register() -> bool:
+        state["register"] = episode.session.register()
+        return state["register"].completed
+
+    def acquire() -> bool:
+        state["acquire"] = episode.session.acquire(episode.ro_id)
+        return state["acquire"].completed
+
+    def use() -> bool:
+        protected_ro = state["acquire"].value
+        dcf = world.ci.get_dcf(episode.content_id)
+        world.agent.install(protected_ro, dcf)
+        state["installed"] = True
+        for _ in range(spec.accesses):
+            world.agent.consume(episode.content_id)
+            state["accesses"] += 1
+        return True
+
+    return state, (("register", register), ("acquire", acquire),
+                   ("use", use))
+
+
+def _result(episode: Episode, state: Dict[str, Any], started: int,
+            flow_seconds: Dict[str, int]) -> EpisodeResult:
+    return EpisodeResult(
+        spec=episode.spec, register=state["register"],
+        acquire=state["acquire"], installed=state["installed"],
+        accesses=state["accesses"],
+        elapsed_seconds=episode.world.clock.now - started,
+        trace=episode.world.agent_crypto.trace,
+        flow_seconds=flow_seconds)
+
+
+def run_episode(spec: EpisodeSpec) -> EpisodeResult:
+    """The sequential reference execution of one episode."""
+    episode = build_episode(spec)
+    started = episode.world.clock.now
+    flow_seconds: Dict[str, int] = {}
+    state, steps = _flow_steps(episode)
+    for label, step in steps:
+        before = episode.world.clock.now
+        proceed = step()
+        flow_seconds[label] = episode.world.clock.now - before
+        if not proceed:
+            break
+    return _result(episode, state, started, flow_seconds)
+
+
+def episode_process(spec: EpisodeSpec,
+                    results: Dict[str, EpisodeResult],
+                    name: str) -> Generator[Any, Any, EpisodeResult]:
+    """The same episode as a kernel process body.
+
+    Each flow runs synchronously inside one kernel event; the
+    simulation-clock seconds it consumed are then mirrored onto the
+    kernel as a :class:`Wait` at one tick per second, so concurrent
+    episodes space out on the shared timeline exactly as their internal
+    clocks did. The finished :class:`EpisodeResult` lands in
+    ``results[name]`` (and in the process's ``result``).
+    """
+    episode = build_episode(spec)
+    started = episode.world.clock.now
+    flow_seconds: Dict[str, int] = {}
+    state, steps = _flow_steps(episode)
+    for label, step in steps:
+        before = episode.world.clock.now
+        proceed = step()
+        elapsed = episode.world.clock.now - before
+        flow_seconds[label] = elapsed
+        if elapsed:
+            yield Wait(elapsed)
+        if not proceed:
+            break
+    result = _result(episode, state, started, flow_seconds)
+    results[name] = result
+    return result
+
+
+def run_kernel_episode(spec: EpisodeSpec,
+                       kernel: Optional[Kernel] = None,
+                       name: str = "device/0") -> EpisodeResult:
+    """Run one episode as the sole process of a kernel and return it.
+
+    The contention-free composition the equivalence tests compare
+    against :func:`run_episode`: same spec in, same
+    :class:`EpisodeResult` out — bit-identical metered trace, exact
+    :class:`~repro.core.model.CostBreakdown` equality.
+    """
+    kernel = kernel if kernel is not None else Kernel(
+        seed="%s/kernel" % spec.seed)
+    results: Dict[str, EpisodeResult] = {}
+    kernel.spawn(name, episode_process(spec, results, name))
+    kernel.run()
+    return results[name]

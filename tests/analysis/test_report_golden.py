@@ -35,6 +35,7 @@ EXPECTED_SECTIONS = (
     "## Retry overhead under loss",
     "## Durability overhead and recovery",
     "## Fleet-scale workload",
+    "## Rights Issuer saturation",
     "## Adversary and outage degradation",
     "## Observability",
     "## Verdict",

@@ -1,0 +1,184 @@
+"""The concurrent Rights Issuer: pricing, state, refusal, telemetry.
+
+Everything here cross-checks :class:`repro.sim.ri.RIServer` against the
+*existing* cost machinery — the same :class:`~repro.core.costs
+.CostTable` and :class:`~repro.core.architecture.ArchitectureProfile`
+that price the terminal side — so the RI cannot drift onto a private
+notion of what crypto costs.
+"""
+
+import pytest
+
+from repro.core.architecture import (HW_PROFILE, PAPER_PROFILES,
+                                     SW_PROFILE)
+from repro.core.costs import PAPER_TABLE1
+from repro.obs.tracer import Tracer
+from repro.sim.kernel import Kernel
+from repro.sim.ri import (REQUEST_KINDS, RICapacity, RIServer,
+                          service_records)
+
+HW = HW_PROFILE
+
+
+def _server(profile=SW_PROFILE, **kwargs):
+    kernel = Kernel(seed="ri-unit", record_log=False)
+    return kernel, RIServer(kernel, profile, **kwargs)
+
+
+# -- pricing ----------------------------------------------------------------
+
+@pytest.mark.parametrize("profile", PAPER_PROFILES,
+                         ids=lambda p: p.name)
+@pytest.mark.parametrize("kind", REQUEST_KINDS)
+def test_base_ticks_are_table1_sums(profile, kind):
+    _, ri = _server(profile)
+    expected = sum(
+        PAPER_TABLE1.cycles(record,
+                            profile.implementation(record.algorithm))
+        for record in service_records(kind))
+    assert ri.base_ticks(kind) == expected
+    assert expected > 0
+
+
+def test_signing_dominates_registration_in_software():
+    # The architecture story in one assertion: the software RI's
+    # registration demand is dominated by the 37.74 Mcycle RSA private
+    # operation; hardware cuts the same request by more than 100x.
+    _, sw = _server(SW_PROFILE)
+    _, hw = _server(HW)
+    assert sw.base_ticks("registration") > 37_000_000
+    assert sw.base_ticks("registration") > \
+        100 * hw.base_ticks("registration")
+
+
+def test_service_records_rejects_unknown_kind():
+    with pytest.raises(ValueError):
+        service_records("teardown")
+
+
+def test_hello_is_hash_only():
+    records = service_records("hello")
+    assert len(records) == 1
+    assert records[0].algorithm.name == "SHA1"
+
+
+# -- stateful terms ---------------------------------------------------------
+
+def test_ocsp_refresh_charged_once_per_validity_window():
+    kernel, ri = _server(ocsp_fetch_ms=50.0, ocsp_validity_seconds=300)
+    base = ri.base_ticks("registration")
+    probe = ri.replay_probe_ticks()
+    first = ri.service_ticks("registration")
+    assert first == base + probe + ri.ocsp_fetch_ticks
+    assert ri.ocsp_fetches == 1
+    # Within the validity window: no refresh.
+    second = ri.service_ticks("registration")
+    assert second == base + probe
+    assert ri.ocsp_fetches == 1
+    # Age the cached assertion out and the fetch recurs.
+    kernel.now += ri.ocsp_validity_ticks + 1
+    third = ri.service_ticks("registration")
+    assert third == first
+    assert ri.ocsp_fetches == 2
+
+
+def test_replay_probe_grows_logarithmically():
+    _, ri = _server()
+    assert ri.replay_probe_ticks() > 0  # the HMAC floor
+    empty = ri.replay_probe_ticks()
+    ri.replay_entries = 1
+    one = ri.replay_probe_ticks()
+    ri.replay_entries = 1_000_000
+    million = ri.replay_probe_ticks()
+    assert empty < one < million
+    # Depth is ceil(log2(n + 1)): 20 levels at a million entries, so
+    # the growth is gentle — pressure, not collapse.
+    ri.replay_entries = 2_000_000
+    assert ri.replay_probe_ticks() - million <= million - empty
+
+
+def test_replay_pressure_can_be_disabled():
+    _, ri = _server(replay_pressure=False)
+    assert ri.service_ticks("acquisition") == \
+        ri.base_ticks("acquisition")
+
+
+# -- the serving protocol ---------------------------------------------------
+
+def _drive(ri, kinds):
+    """Spawn one process per request, all arriving at tick zero."""
+    latencies = {}
+
+    def request(index, kind):
+        latencies[index] = yield from ri.serve(kind)
+
+    for index, kind in enumerate(kinds):
+        ri.kernel.spawn("req/%d" % index, request(index, kind))
+    ri.kernel.run()
+    return latencies
+
+
+def test_serve_records_latency_and_replay_growth():
+    _, ri = _server(HW)
+    latencies = _drive(ri, ["hello", "registration", "acquisition"])
+    assert ri.served == 3
+    assert ri.refused == 0
+    # hello does not populate the replay cache; the others do.
+    assert ri.replay_entries == 2
+    assert ri.latency.count == 3
+    assert all(value > 0 for value in latencies.values())
+    # Simultaneous arrivals on one signing unit: each latency includes
+    # the queue wait behind its predecessors.
+    assert latencies[0] < latencies[1] < latencies[2]
+    counters = ri.metrics.to_dict()["counters"]
+    assert counters["ri.served"] == 3
+    assert counters["ri.served.hello"] == 1
+
+
+def test_bounded_queue_refuses_and_counts():
+    _, ri = _server(HW, capacity=RICapacity(signing_units=1,
+                                            queue_limit=1))
+    latencies = _drive(ri, ["hello"] * 3)
+    assert ri.served == 2
+    assert ri.refused == 1
+    assert latencies[2] is None  # last arrival found the queue full
+    counters = ri.metrics.to_dict()["counters"]
+    assert counters["ri.refused"] == 1
+    assert counters["ri.refused.hello"] == 1
+
+
+def test_serve_rejects_unknown_kind():
+    _, ri = _server()
+    with pytest.raises(ValueError):
+        next(ri.serve("teardown"))
+
+
+def test_latency_ms_converts_ticks_at_the_profile_clock():
+    _, ri = _server(HW)
+    _drive(ri, ["hello"])
+    expected = ri.latency.summary().mean * 1000.0 / HW.clock_hz
+    assert ri.latency_ms("mean") == pytest.approx(expected)
+    assert ri.utilization() > 0
+    assert ri.mean_queue_depth() == 0.0
+
+
+def test_serve_emits_spans_on_the_virtual_clock():
+    kernel = Kernel(seed="ri-spans", record_log=False)
+    tracer = Tracer(profile=HW, actor="ri")
+    ri = RIServer(kernel, HW, tracer=tracer)
+    _drive(ri, ["registration", "acquisition"])
+    spans = [span for span in tracer.spans
+             if span.name.startswith("ri.serve.")]
+    assert [span.name for span in spans] == \
+        ["ri.serve.registration", "ri.serve.acquisition"]
+    for span in spans:
+        assert span.args["service_ticks"] > 0
+        assert span.end is not None
+        assert span.duration == span.args["service_ticks"]
+
+
+def test_capacity_validation():
+    with pytest.raises(ValueError):
+        RICapacity(signing_units=0)
+    with pytest.raises(ValueError):
+        RICapacity(queue_limit=-1)

@@ -211,6 +211,42 @@ def test_json_flag_on_run(capsys):
     assert data["architectures"]["SW"]["kind"] == "cost-breakdown"
 
 
+def test_fleet_kernel_mode(capsys):
+    code, out = run_cli(capsys, "fleet", "--devices", "200",
+                        "--rsa-bits", "512", "--shard-size", "100",
+                        "--seed", "cli-fleet-kernel", "--window", "600",
+                        "--kernel")
+    assert code == 0
+    assert "Shared RI under the event kernel" in out
+    assert "1 signing unit, unbounded" in out
+
+
+def test_saturation(capsys):
+    code, out = run_cli(capsys, "saturation", "--requests", "150",
+                        "--rhos", "0.3,0.7", "--seed", "cli-sat")
+    assert code == 0
+    assert "SW RI: nominal capacity" in out
+    assert "HW RI: nominal capacity" in out
+    assert "utilization" in out
+
+
+def test_saturation_rejects_bad_rhos(capsys):
+    code = main(["saturation", "--requests", "50", "--rhos", "0,-1"])
+    capsys.readouterr()
+    assert code == 2
+
+
+def test_json_flag_on_saturation(capsys):
+    code, out = run_cli(capsys, "saturation", "--requests", "100",
+                        "--rhos", "0.4", "--seed", "cli-sat-json",
+                        "--json")
+    assert code == 0
+    data = json.loads(out)
+    curves = data["sweep"]["points"]
+    assert set(curves) == {"SW", "SW/HW", "HW"}
+    assert curves["SW"][0]["result"]["load"]["served"] == 100
+
+
 def test_json_flag_on_fleet(capsys):
     code, out = run_cli(capsys, "fleet", "--devices", "200",
                         "--rsa-bits", "512", "--shard-size", "100",
