@@ -1,0 +1,108 @@
+"""Analyzer cost: end-to-end lint wall-clock over ``src/``.
+
+The lint gate runs on every CI build, so its cost is a tax on every
+change; this benchmark tracks it across PRs the same way
+``BENCH_kernel.json`` tracks scheduler throughput. Three measurements:
+
+* **sequential** — the full pipeline (parse, call graph, taint
+  fixpoint, rules) single-process;
+* **parallel** — the same with ``jobs=2`` (the CI setting), whose
+  output must stay bit-identical;
+* **graph+fixpoint share** — the interprocedural build alone, so a
+  regression can be attributed to the engine vs the rules.
+
+Run directly (``python benchmarks/bench_lint.py``) it prints the
+table, proves sequential/parallel equality, and emits
+``BENCH_lint.json`` (files/s, wall-clock). ``--out PATH`` redirects
+the artifact.
+"""
+
+import ast
+import json
+import pathlib
+import sys
+import time
+
+from repro.lint import LintEngine, render_json
+from repro.lint.callgraph import build_call_graph
+from repro.lint.dataflow import DataflowAnalysis
+from repro.lint.engine import collect_files, module_name_for
+from repro.lint.graph import summarize_module
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parents[1]
+TARGET = str(REPO_ROOT / "src")
+
+
+def _lint(jobs):
+    engine = LintEngine()
+    start = time.perf_counter()
+    result = engine.run([TARGET], jobs=jobs)
+    wall = time.perf_counter() - start
+    return wall, result
+
+
+def _engine_only():
+    files = collect_files([TARGET])
+    modules = []
+    for path in files:
+        name, is_package = module_name_for(path)
+        tree = ast.parse(pathlib.Path(path).read_text(encoding="utf-8"),
+                         filename=path)
+        modules.append((name, tree,
+                        summarize_module(name, tree, is_package)))
+    start = time.perf_counter()
+    graph = build_call_graph(modules)
+    DataflowAnalysis(graph, {n: (t, s) for n, t, s in modules})
+    return time.perf_counter() - start, len(files)
+
+
+def test_parallel_lint_matches_sequential():
+    _, sequential = _lint(jobs=1)
+    _, parallel = _lint(jobs=2)
+    assert json.dumps(render_json(sequential), sort_keys=True) \
+        == json.dumps(render_json(parallel), sort_keys=True)
+
+
+def main(argv) -> int:
+    out = "BENCH_lint.json"
+    if "--out" in argv:
+        out = argv[argv.index("--out") + 1]
+
+    seq_wall, seq_result = _lint(jobs=1)
+    par_wall, par_result = _lint(jobs=2)
+    engine_wall, files = _engine_only()
+
+    identical = (json.dumps(render_json(seq_result), sort_keys=True)
+                 == json.dumps(render_json(par_result),
+                               sort_keys=True))
+
+    report = {
+        "files": files,
+        "sequential": {
+            "wall_seconds": seq_wall,
+            "files_per_second": files / seq_wall,
+        },
+        "parallel_jobs2": {
+            "wall_seconds": par_wall,
+            "files_per_second": files / par_wall,
+        },
+        "callgraph_and_fixpoint_seconds": engine_wall,
+        "outputs_bit_identical": identical,
+    }
+    print("mode          files  wall [s]  files/s")
+    print("sequential    %-6d %-9.2f %.0f"
+          % (files, seq_wall, files / seq_wall))
+    print("parallel (2)  %-6d %-9.2f %.0f"
+          % (files, par_wall, files / par_wall))
+    print("graph+fixpoint share: %.2fs" % engine_wall)
+    with open(out, "w", encoding="utf-8") as handle:
+        json.dump(report, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print("wrote %s" % out)
+    print("sequential/parallel equality %s"
+          % ("PASSED" if identical else "FAILED"))
+    return 0 if identical else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

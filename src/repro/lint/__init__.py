@@ -1,41 +1,58 @@
-"""``repro.lint`` — AST-based invariant analyzer for this repository.
+"""``repro.lint`` — invariant analyzer with interprocedural dataflow.
 
 The paper's cost model is only trustworthy if every crypto operation a
 protocol run performs is priced, and the fleet engine is only useful if
 shard merges stay bit-identical. Both are *invariants of the codebase*;
-this package enforces them statically instead of by convention.
+this package enforces them statically instead of by convention — since
+PR 8 with a whole-program call graph (:mod:`repro.lint.callgraph`) and
+a forward taint engine with per-function summaries
+(:mod:`repro.lint.dataflow`), not just per-function syntax checks.
 
-Four rule families (see :mod:`repro.lint.rules` and
+Rule families (see :mod:`repro.lint.rules` and
 ``docs/static-analysis.md``):
 
 * **REP1xx determinism** — no wall-clock reads, OS entropy, unseeded
   RNGs, or set-iteration-order leaks in priced or sharded paths
   (``repro.usecases``, ``repro.analysis``).
-* **REP2xx metering completeness** — ``repro.drm`` must route all crypto
-  through the :class:`~repro.core.meter.PlainCrypto` /
-  :class:`~repro.core.meter.MeteredCrypto` provider, never call
-  :mod:`repro.crypto` primitives directly (REP201) or reach them
-  through an intermediary module (REP202, via the import graph and
-  per-function call summaries in :mod:`repro.lint.graph`).
-* **REP3xx secret hygiene** — no key material interpolated into strings,
-  logs, or exception messages; no variable-time ``==`` on digest/tag
-  bytes inside ``repro.crypto``.
+* **REP2xx metering completeness** — ``repro.drm``/``repro.sim`` must
+  route all crypto through the :class:`~repro.core.meter.PlainCrypto` /
+  :class:`~repro.core.meter.MeteredCrypto` provider: no direct
+  :mod:`repro.crypto` primitive imports (REP201), and *no call path*
+  reaching a primitive around the provider — proven by reachability
+  over the call graph, with the uncovered path as evidence (REP202).
+* **REP3xx secret hygiene** — no variable-time ``==`` on digest/tag
+  bytes inside ``repro.crypto`` (REP302).
 * **REP4xx error contracts** — no bare ``except:``, no silent
   ``except ...: pass`` in protocol code, typed
   :class:`~repro.drm.errors.WireDecodeError` in wire-decode paths.
+* **REP5xx durability**, **REP6xx observability**, **REP7xx trust** —
+  journal discipline, no ``print``/``logging`` in library layers, no
+  swallowed trust errors.
+* **REP8xx secret taint** — key material (CEK/KEK/REK fields, private
+  keys, DRBG outputs) tracked through assignments and helper calls
+  into exception messages, trace attributes, metrics labels, logs, and
+  JSON output; interprocedural findings carry the call path (REP801,
+  superseding the old syntactic REP301).
+* **REP9xx sim resource protocol** — ``Acquire`` grants released on
+  exception paths (REP901), no nested-acquire deadlock hazards
+  (REP902), kernel-owned scheduler state mutated only by the kernel
+  (REP903).
 
 Findings can be fixed, suppressed inline with a *justified*
 ``# repro: allow[REPnnn] -- reason`` comment, or grandfathered in the
-committed baseline file. Run ``python -m repro lint src/``.
+committed baseline file. Run ``python -m repro lint src/`` (``--jobs
+N`` shards across processes with bit-identical output, ``--format
+sarif`` for code-scanning upload).
 """
 
 from .baseline import Baseline
 from .config import LintConfig, RuleConfig
 from .engine import Finding, LintEngine, LintResult
-from .reporters import render_json, render_text
+from .reporters import render_json, render_sarif, render_text
 from .rules import all_rules
 
 __all__ = [
     "Baseline", "Finding", "LintConfig", "LintEngine", "LintResult",
-    "RuleConfig", "all_rules", "render_json", "render_text",
+    "RuleConfig", "all_rules", "render_json", "render_sarif",
+    "render_text",
 ]

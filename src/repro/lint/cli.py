@@ -14,7 +14,7 @@ from typing import List
 from .baseline import Baseline
 from .config import LintConfig
 from .engine import LintEngine
-from .reporters import render_json, render_text
+from .reporters import render_json, render_sarif, render_text
 from .rules import all_rules
 
 
@@ -23,8 +23,12 @@ def add_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("paths", nargs="*", default=["src"],
                         help="files or directories to analyze "
                              "(default: src)")
-    parser.add_argument("--format", choices=("text", "json"),
+    parser.add_argument("--format", choices=("text", "json", "sarif"),
                         default="text", help="report format")
+    parser.add_argument("--jobs", type=int, default=1, metavar="N",
+                        help="shard module analysis across N forked "
+                             "workers (output is bit-identical to "
+                             "--jobs 1)")
     parser.add_argument("--baseline", metavar="PATH", default=None,
                         help="baseline file (default: lint-baseline.json "
                              "or [tool.repro-lint] baseline)")
@@ -69,7 +73,10 @@ def run(args: argparse.Namespace) -> int:
         except ValueError as error:
             print("error: %s" % error, file=sys.stderr)
             return 2
-    result = engine.run(paths, baseline=baseline)
+    if args.jobs < 1:
+        print("error: --jobs must be at least 1", file=sys.stderr)
+        return 2
+    result = engine.run(paths, baseline=baseline, jobs=args.jobs)
 
     if args.update_baseline:
         Baseline.save(baseline_path, result.all_current)
@@ -79,6 +86,9 @@ def run(args: argparse.Namespace) -> int:
 
     if args.format == "json":
         print(json.dumps(render_json(result), indent=2, sort_keys=True))
+    elif args.format == "sarif":
+        print(json.dumps(render_sarif(result), indent=2,
+                         sort_keys=True))
     else:
         print(render_text(result))
     return 0 if result.clean else 1

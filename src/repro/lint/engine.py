@@ -21,6 +21,7 @@ aborting the run: the lint gate must degrade loudly, not crash.
 """
 
 import ast
+import multiprocessing
 import os
 from dataclasses import dataclass, field
 from typing import Iterator, List, Optional, Sequence, Tuple
@@ -33,6 +34,17 @@ from .suppressions import build_suppression_index, parse_suppressions
 
 #: Meta rule id for files the parser rejects.
 PARSE_ERROR = "REP003"
+
+#: Fork-inherited scan state: (engine, contexts, project, known_ids).
+#: Set by the parent immediately before the worker pool is forked so
+#: children see it without pickling the ASTs.
+_SHARED_SCAN = None
+
+
+def _scan_one(index: int):
+    """Worker entry: scan the ``index``-th module of the shared state."""
+    engine, contexts, project, known_ids = _SHARED_SCAN
+    return engine._check_module(contexts[index], project, known_ids)
 
 
 @dataclass(frozen=True)
@@ -198,9 +210,78 @@ class LintEngine:
                 summary=summarize_module(name, tree, is_package)))
         return contexts, errors
 
+    # -- per-module scan --------------------------------------------------
+    def _check_module(self, ctx: ModuleContext, project: ProjectGraph,
+                      known_ids) -> Tuple[List[Finding], List[Finding]]:
+        """(reported, suppressed) findings for one module."""
+        module_findings = []
+        for rule in self.rules:
+            rule_config = self.config.rule(rule.id)
+            if not rule_config.enabled:
+                continue
+            if not rule_config.applies_to(ctx.name,
+                                          rule.default_scopes):
+                continue
+            for hit in rule.check(ctx, project):
+                module_findings.append(Finding(
+                    rule=rule.id, path=ctx.path, line=hit.line,
+                    column=hit.column, message=hit.message,
+                    snippet=ctx.snippet(hit.line)))
+
+        raw: List[Finding] = []
+        suppressed: List[Finding] = []
+        index, problems = build_suppression_index(
+            parse_suppressions(ctx.source_lines), known_ids)
+        for finding in module_findings:
+            if (finding.line, finding.rule) in index:
+                suppressed.append(finding)
+            else:
+                raw.append(finding)
+        for problem in problems:
+            raw.append(Finding(
+                rule=problem.rule, path=ctx.path, line=problem.line,
+                column=0, message=problem.message,
+                snippet=ctx.snippet(problem.line)))
+        return raw, suppressed
+
+    def _scan_modules(self, contexts: List[ModuleContext],
+                      project: ProjectGraph, known_ids,
+                      jobs: int) -> List[Tuple[List[Finding],
+                                               List[Finding]]]:
+        """Per-module scan results, in context order.
+
+        With ``jobs > 1`` the modules are sharded across forked
+        workers; each worker inherits the parsed ASTs, call graph, and
+        taint fixpoint from the parent (copy-on-write), so only the
+        picklable finding lists travel back. The merge preserves
+        context order, which makes the output bit-identical to the
+        sequential path — asserted by
+        ``tests/lint/test_parallel.py``.
+        """
+        if jobs > 1 and len(contexts) > 1:
+            try:
+                mp = multiprocessing.get_context("fork")
+            except ValueError:
+                mp = None
+            if mp is not None:
+                global _SHARED_SCAN
+                _SHARED_SCAN = (self, contexts, project, known_ids)
+                try:
+                    with mp.Pool(processes=min(jobs,
+                                               len(contexts))) as pool:
+                        chunk = max(1, len(contexts) // jobs)
+                        return pool.map(_scan_one,
+                                        range(len(contexts)),
+                                        chunksize=chunk)
+                finally:
+                    _SHARED_SCAN = None
+        return [self._check_module(ctx, project, known_ids)
+                for ctx in contexts]
+
     # -- the run ----------------------------------------------------------
     def run(self, paths: Sequence[str],
-            baseline: Optional[Baseline] = None) -> LintResult:
+            baseline: Optional[Baseline] = None,
+            jobs: int = 1) -> LintResult:
         """Analyze ``paths`` and split findings against ``baseline``."""
         files = collect_files(paths)
         contexts, parse_errors = self._load_modules(files)
@@ -208,39 +289,18 @@ class LintEngine:
         project = ProjectGraph()
         for ctx in contexts:
             project.add(ctx.summary)
+        project.finalize([(ctx.name, ctx.tree, ctx.summary)
+                          for ctx in contexts])
 
         known_ids = {rule.id for rule in self.rules}
         result = LintResult(files_scanned=len(files))
         raw: List[Finding] = list(parse_errors)
         suppressed: List[Finding] = []
 
-        for ctx in contexts:
-            module_findings = []
-            for rule in self.rules:
-                rule_config = self.config.rule(rule.id)
-                if not rule_config.enabled:
-                    continue
-                if not rule_config.applies_to(ctx.name,
-                                              rule.default_scopes):
-                    continue
-                for hit in rule.check(ctx, project):
-                    module_findings.append(Finding(
-                        rule=rule.id, path=ctx.path, line=hit.line,
-                        column=hit.column, message=hit.message,
-                        snippet=ctx.snippet(hit.line)))
-
-            index, problems = build_suppression_index(
-                parse_suppressions(ctx.source_lines), known_ids)
-            for finding in module_findings:
-                if (finding.line, finding.rule) in index:
-                    suppressed.append(finding)
-                else:
-                    raw.append(finding)
-            for problem in problems:
-                raw.append(Finding(
-                    rule=problem.rule, path=ctx.path, line=problem.line,
-                    column=0, message=problem.message,
-                    snippet=ctx.snippet(problem.line)))
+        for module_raw, module_suppressed in self._scan_modules(
+                contexts, project, known_ids, jobs):
+            raw.extend(module_raw)
+            suppressed.extend(module_suppressed)
 
         raw.sort(key=lambda f: (f.path, f.line, f.column, f.rule))
         baseline = baseline if baseline is not None else Baseline()

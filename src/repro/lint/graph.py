@@ -193,16 +193,39 @@ def summarize_module(name: str, tree: ast.AST,
 
 
 class ProjectGraph:
-    """Summaries for every scanned module, queried by dotted name."""
+    """Summaries for every scanned module, queried by dotted name.
+
+    After :meth:`finalize` the graph also carries the whole-program
+    :class:`~repro.lint.callgraph.CallGraph` and the
+    :class:`~repro.lint.dataflow.DataflowAnalysis` fixpoint, which the
+    interprocedural rule families (REP2xx reachability, REP8xx taint)
+    query instead of the one-level import summaries.
+    """
 
     def __init__(self) -> None:
         self._summaries: Dict[str, ModuleSummary] = {}
+        self.callgraph = None
+        self.dataflow = None
 
     def add(self, summary: ModuleSummary) -> None:
         self._summaries[summary.name] = summary
 
     def summary(self, name: str) -> Optional[ModuleSummary]:
         return self._summaries.get(name)
+
+    def finalize(self, modules) -> None:
+        """Build the call graph and run the taint fixpoint.
+
+        ``modules`` is a sequence of ``(name, tree, summary)`` triples
+        for every parsed module. Imported lazily so the light
+        import-table path stays dependency-free.
+        """
+        from .callgraph import build_call_graph
+        from .dataflow import DataflowAnalysis
+        self.callgraph = build_call_graph(modules)
+        self.dataflow = DataflowAnalysis(
+            self.callgraph,
+            {name: (tree, summary) for name, tree, summary in modules})
 
     def __len__(self) -> int:
         return len(self._summaries)

@@ -1,4 +1,4 @@
-"""Finding reporters: human text and machine JSON.
+"""Finding reporters: human text, machine JSON, and SARIF.
 
 The JSON document is the CI interface; its shape is pinned by
 ``tests/lint/test_reporters.py``::
@@ -11,6 +11,11 @@ The JSON document is the CI interface; its shape is pinned by
       "summary": {"new": 2, "baselined": 0, "suppressed": 1,
                   "files": 40, "clean": false}
     }
+
+The SARIF 2.1.0 document (``--format sarif``) is what the CI lint job
+uploads so findings render as GitHub code-scanning annotations; its
+shape is pinned by the golden snapshot in
+``tests/lint/test_reporters.py``.
 """
 
 from collections import Counter
@@ -21,6 +26,12 @@ from .engine import LintResult
 
 #: Schema version of the JSON report.
 REPORT_VERSION = 1
+
+#: SARIF specification version emitted by :func:`render_sarif`.
+SARIF_VERSION = "2.1.0"
+
+_SARIF_SCHEMA = ("https://raw.githubusercontent.com/oasis-tcs/"
+                 "sarif-spec/master/Schemata/sarif-schema-2.1.0.json")
 
 
 def render_text(result: LintResult) -> str:
@@ -64,4 +75,59 @@ def render_json(result: LintResult) -> Dict:
             "files": result.files_scanned,
             "clean": result.clean,
         },
+    }
+
+
+def render_sarif(result: LintResult) -> Dict:
+    """SARIF 2.1.0 run for GitHub code-scanning upload.
+
+    New findings become ``results`` (level ``error`` — they fail the
+    gate); the rule metadata of every *fired* rule is embedded in the
+    driver so annotations carry the invariant description. SARIF
+    ``startColumn`` is 1-based where the engine's columns are 0-based.
+    """
+    from .rules import all_rules
+
+    fired = sorted({finding.rule for finding in result.findings})
+    titles = {rule.id: rule.title for rule in all_rules()}
+    rules = [{
+        "id": rule_id,
+        "shortDescription": {
+            "text": titles.get(rule_id, "analyzer meta-finding"),
+        },
+    } for rule_id in fired]
+    results = []
+    for finding, print_ in zip(result.findings,
+                               assign_fingerprints(result.findings)):
+        results.append({
+            "ruleId": finding.rule,
+            "level": "error",
+            "message": {"text": finding.message},
+            "locations": [{
+                "physicalLocation": {
+                    "artifactLocation": {
+                        "uri": finding.path.replace("\\", "/"),
+                    },
+                    "region": {
+                        "startLine": finding.line,
+                        "startColumn": finding.column + 1,
+                    },
+                },
+            }],
+            "partialFingerprints": {"reproLint/v1": print_},
+        })
+    return {
+        "$schema": _SARIF_SCHEMA,
+        "version": SARIF_VERSION,
+        "runs": [{
+            "tool": {
+                "driver": {
+                    "name": "repro-lint",
+                    "informationUri":
+                        "docs/static-analysis.md",
+                    "rules": rules,
+                },
+            },
+            "results": results,
+        }],
     }

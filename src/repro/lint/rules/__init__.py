@@ -9,13 +9,14 @@ validation, and the docs table all derive from this registry.
 from typing import Dict, Tuple, Type
 
 from . import (contracts, determinism, durability, metering,
-               observability, secrets, trust)
+               observability, secrets, simproto, taint, trust)
 from .base import RawFinding, Rule
 
 #: All rule classes, ordered by id.
 RULE_CLASSES: Tuple[Type[Rule], ...] = tuple(sorted(
     determinism.RULES + metering.RULES + secrets.RULES + contracts.RULES
-    + durability.RULES + observability.RULES + trust.RULES,
+    + durability.RULES + observability.RULES + trust.RULES
+    + taint.RULES + simproto.RULES,
     key=lambda rule: rule.id))
 
 

@@ -1,13 +1,16 @@
-"""REP3xx — secret hygiene.
+"""REP3xx — secret hygiene (timing discipline).
 
-An embedded DRM agent's keys (``K_DEV``, KEKs, ``K_MAC``/``K_REK``/
-``K_CEK``) must never reach logs, exception text, or any interpolated
-string — a stack trace in a bug report is a key-extraction channel.
-And inside :mod:`repro.crypto`, tag/digest/padding bytes must be
-compared through :func:`~repro.crypto.encoding.constant_time_equal`;
-a raw ``==`` is an early-exit timing oracle (the discipline
+Inside :mod:`repro.crypto`, tag/digest/padding bytes must be compared
+through :func:`~repro.crypto.encoding.constant_time_equal`; a raw
+``==`` is an early-exit timing oracle (the discipline
 ``docs/static-analysis.md`` cross-references from the paper's
 embedded-implementation setting).
+
+REP301 — the syntactic "secret-named variable interpolated here"
+heuristic — used to live in this family; it is superseded by REP801
+(:mod:`repro.lint.rules.taint`), which tracks the *flow* of key
+material through assignments and calls into sinks instead of matching
+names at the interpolation site.
 """
 
 import ast
@@ -15,20 +18,6 @@ import re
 from typing import Iterator
 
 from .base import RawFinding, Rule
-
-#: Identifier segments that mark a value as key material.
-_SECRET_SEGMENTS = re.compile(
-    r"(?:^|_)(?:key|keys|kek|kdev|kmac|krek|kcek|secret|secrets|"
-    r"password|passwd|token|private)(?:_|$)")
-
-#: Identifiers that match the segment regex but are not secret values.
-_SECRET_EXCEPTIONS = re.compile(
-    r"public|_id$|_ids$|_name$|_label$|keyword")
-
-#: Logger-ish receivers for REP301's log-call check.
-_LOGGER_NAMES = frozenset({"log", "logger", "logging"})
-_LOG_METHODS = frozenset({"debug", "info", "warning", "warn", "error",
-                          "exception", "critical", "log"})
 
 #: Calls that evidently return bytes (digest/MAC/codec outputs).
 _BYTES_RETURNING = frozenset({
@@ -40,75 +29,6 @@ _BYTES_RETURNING = frozenset({
 _BYTES_NAMES = re.compile(
     r"(?:^|_)(?:iv|icv|tag|mac|digest|hash|salt|pad|padding|mask|"
     r"signature|sig|key|kek)(?:_|$)")
-
-
-def _is_secret_name(identifier: str) -> bool:
-    lowered = identifier.lower()
-    return bool(_SECRET_SEGMENTS.search(lowered)) \
-        and not _SECRET_EXCEPTIONS.search(lowered)
-
-
-#: Calls whose result reveals only metadata about their argument.
-_METADATA_CALLS = frozenset({"len", "type", "id"})
-
-
-def _walk_skipping_attributes(node: ast.AST):
-    """``ast.walk`` variant skipping attribute values and metadata calls.
-
-    Attribute accesses (``key.bit_length``, ``private_key.modulus_octets``)
-    are deliberately skipped: interpolating a *property of* a key object
-    is routine (sizes, ids); interpolating the name itself is the leak.
-    Likewise ``len(key)``/``type(key)`` interpolate metadata, not bytes.
-    """
-    stack = [node]
-    while stack:
-        current = stack.pop()
-        yield current
-        if isinstance(current, ast.Call) \
-                and isinstance(current.func, ast.Name) \
-                and current.func.id in _METADATA_CALLS:
-            continue
-        for child in ast.iter_child_nodes(current):
-            if isinstance(current, ast.Attribute) \
-                    and child is current.value:
-                continue
-            stack.append(child)
-
-
-class NoSecretInterpolationRule(Rule):
-    """REP301: key material must not reach strings, logs, exceptions."""
-
-    id = "REP301"
-    title = ("secret-named variable interpolated into a string, log "
-             "call, or exception message — a key-extraction channel")
-
-    def _scan_expression(self, expression, context):
-        for child in _walk_skipping_attributes(expression):
-            if isinstance(child, ast.Name) and _is_secret_name(child.id):
-                yield self.finding(
-                    child, "secret-named variable %r %s" % (child.id,
-                                                            context))
-
-    def check(self, ctx, project) -> Iterator[RawFinding]:
-        for node in ast.walk(ctx.tree):
-            if isinstance(node, ast.JoinedStr):
-                for value in node.values:
-                    if isinstance(value, ast.FormattedValue):
-                        yield from self._scan_expression(
-                            value.value,
-                            "interpolated into an f-string")
-            elif isinstance(node, ast.Raise) and node.exc is not None:
-                for arg in getattr(node.exc, "args", []) or []:
-                    yield from self._scan_expression(
-                        arg, "interpolated into an exception message")
-            elif isinstance(node, ast.Call) \
-                    and isinstance(node.func, ast.Attribute) \
-                    and node.func.attr in _LOG_METHODS \
-                    and isinstance(node.func.value, ast.Name) \
-                    and node.func.value.id in _LOGGER_NAMES:
-                for arg in node.args:
-                    yield from self._scan_expression(
-                        arg, "passed to a log call")
 
 
 class ConstantTimeCompareRule(Rule):
@@ -169,4 +89,4 @@ class ConstantTimeCompareRule(Rule):
                              "timing oracle; use constant_time_equal")
 
 
-RULES = (NoSecretInterpolationRule, ConstantTimeCompareRule)
+RULES = (ConstantTimeCompareRule,)

@@ -1,0 +1,43 @@
+"""REP8xx — interprocedural secret taint.
+
+PR 3's REP301 flagged a secret-*named* variable interpolated on the
+line where it was still visible under its telltale name. That
+heuristic is blind to flow: pass ``kcek`` through a formatting helper
+and the interpolation site sees only an innocent local. REP801 replaces
+it with the :mod:`repro.lint.dataflow` engine — taint seeded at key
+material (CEK/KEK/REK fields, private keys, DRBG/nonce outputs) is
+tracked through assignments, string building, and *calls* (via
+per-function summaries over the whole-program call graph) into sinks:
+exception messages, tracer span/event attributes, metrics labels, log
+calls, JSON serialization, and f-string interpolation. Interprocedural
+findings carry the call path as evidence.
+
+Sanitized values — ``len``/``type`` metadata, constant-time verdicts,
+and stable-digest redactors (``fingerprint``/``redact``/``digest``) —
+are clean by construction: publishing a fingerprint of a key is the
+sanctioned way to name one in diagnostics.
+"""
+
+from typing import Iterator
+
+from .base import RawFinding, Rule
+
+
+class SecretFlowRule(Rule):
+    """REP801: key material must not flow into an exported sink."""
+
+    id = "REP801"
+    title = ("key material flows (possibly through helper calls) into "
+             "an exception message, trace attribute, metrics label, "
+             "log call, JSON output, or interpolated string — a "
+             "key-extraction channel; redact with a stable digest")
+
+    def check(self, ctx, project) -> Iterator[RawFinding]:
+        if project.dataflow is None:
+            return
+        for flow in project.dataflow.findings_for(ctx.name):
+            yield RawFinding(line=flow.line, column=flow.column,
+                             message=flow.message)
+
+
+RULES = (SecretFlowRule,)

@@ -150,7 +150,9 @@ def run_fleet_kernel(config: FleetConfig, workers: int = 1,
     exact; see the module docstring.
     """
     if templates is None:
+        # repro: allow[REP202] -- world construction seeds per-device DRBG streams; provisioning entropy is outside Table 1's priced protocol trace
         templates = build_cost_templates(config)
+    # repro: allow[REP202] -- same provisioning path: the sequential fleet pass builds its world through the PR 2 engine
     base = run_fleet(config, workers=workers, templates=templates)
     draws = [draw_device(config, index)
              for index in range(config.devices)]

@@ -178,8 +178,12 @@ def simulate_queue(seed: str, jobs: int, interarrival: TickDraw,
         if grant is REJECTED:
             return None
         observation.wait.add(kernel.now - arrived)
-        yield Wait(demand)
-        yield Release(server)
+        try:
+            yield Wait(demand)
+        finally:
+            # Released during unwind as well: a fault while in service
+            # must not strand the server slot.
+            yield Release(server)
         observation.completed += 1
         observation.sojourn.add(kernel.now - arrived)
         return None

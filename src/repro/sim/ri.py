@@ -249,14 +249,19 @@ class RIServer:
             self.metrics.counter("ri.refused.%s" % kind)
             return None
         waited = self.kernel.now - arrived
-        ticks = self.service_ticks(kind)
-        self.tracer.advance_to(self.kernel.now)
-        with self.tracer.span("ri.serve.%s" % kind, track="ri",
-                              waited_ticks=waited) as span:
-            yield Wait(ticks)
+        try:
+            ticks = self.service_ticks(kind)
             self.tracer.advance_to(self.kernel.now)
-            span.set("service_ticks", ticks)
-        yield Release(self.signing)
+            with self.tracer.span("ri.serve.%s" % kind, track="ri",
+                                  waited_ticks=waited) as span:
+                yield Wait(ticks)
+                self.tracer.advance_to(self.kernel.now)
+                span.set("service_ticks", ticks)
+        finally:
+            # The kernel delivers this Release during generator unwind
+            # too, so an exception inside the critical section returns
+            # the signing grant instead of deadlocking the queue.
+            yield Release(self.signing)
         latency = self.kernel.now - arrived
         if kind != "hello":
             self.replay_entries += 1

@@ -112,6 +112,7 @@ class EpisodeResult:
 
 def build_episode(spec: EpisodeSpec) -> Episode:
     """Construct the world, channel and session one spec describes."""
+    # repro: allow[REP202] -- DRMWorld.create seeds device DRBGs at provisioning time; the episode's protocol trace itself stays fully metered
     world = DRMWorld.create(seed=spec.seed, metered=True,
                             rsa_bits=spec.rsa_bits)
     content_id = "cid:%s" % spec.seed

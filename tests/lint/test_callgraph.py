@@ -1,0 +1,205 @@
+"""Call-graph construction and taint-summary convergence properties.
+
+The dataflow engine's determinism rests on two structural facts:
+graph construction is a pure function of the (sorted) module set, and
+the summary fixpoint is monotone, so it converges and its result is
+independent of worklist order. Hypothesis generates adversarial module
+shapes — cycles, mutual recursion, aliased and relative imports,
+method resolution through inheritance — and checks both facts plus the
+specific resolution features the rules rely on.
+"""
+
+import ast
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.lint.callgraph import build_call_graph
+from repro.lint.dataflow import DataflowAnalysis
+from repro.lint.graph import summarize_module
+
+
+def build(sources):
+    """``{dotted module: source}`` → (graph, modules dict)."""
+    modules = []
+    for name in sources:
+        tree = ast.parse(sources[name])
+        modules.append((name, tree, summarize_module(name, tree,
+                                                     False)))
+    graph = build_call_graph(modules)
+    return graph, {n: (t, s) for n, t, s in modules}
+
+
+def edge_fingerprint(graph):
+    """A comparable, fully-ordered rendering of the whole graph."""
+    return tuple(
+        (qualname, tuple((site.callee, site.line, site.is_reference)
+                         for site in graph.edges_from(qualname)))
+        for qualname in sorted(graph.functions))
+
+
+def summary_fingerprint(analysis):
+    return tuple(
+        (qualname,
+         summary.returns_secret,
+         tuple(sorted(summary.params_to_return)),
+         tuple(sorted((index, flow.kind, flow.path)
+                      for index, flow in summary.param_sinks.items())))
+        for qualname, summary in sorted(analysis.summaries.items()))
+
+
+# -- deterministic resolution features ---------------------------------------
+
+def test_methods_resolve_through_inheritance():
+    graph, _ = build({"repro.m": (
+        "class Base:\n"
+        "    def ping(self):\n"
+        "        return 1\n"
+        "class Child(Base):\n"
+        "    def run(self):\n"
+        "        return self.ping()\n"
+    )})
+    edges = graph.edges_from("repro.m.Child.run")
+    assert [site.callee for site in edges] == ["repro.m.Base.ping"]
+
+
+def test_aliased_and_relative_imports_resolve():
+    graph, _ = build({
+        "repro.pkg.helper": (
+            "def work(x):\n"
+            "    return x\n"
+        ),
+        "repro.pkg.user": (
+            "from repro.pkg import helper as h\n"
+            "from .helper import work as w\n"
+            "def a(x):\n"
+            "    return h.work(x)\n"
+            "def b(x):\n"
+            "    return w(x)\n"
+        ),
+    })
+    assert [s.callee for s in graph.edges_from("repro.pkg.user.a")] \
+        == ["repro.pkg.helper.work"]
+    assert [s.callee for s in graph.edges_from("repro.pkg.user.b")] \
+        == ["repro.pkg.helper.work"]
+
+
+def test_first_class_function_references_get_edges():
+    graph, _ = build({"repro.m": (
+        "def callback(x):\n"
+        "    return x\n"
+        "def register(handlers):\n"
+        "    handlers.append(callback)\n"
+    )})
+    edges = graph.edges_from("repro.m.register")
+    assert [(s.callee, s.is_reference) for s in edges] \
+        == [("repro.m.callback", True)]
+
+
+def test_cycles_and_mutual_recursion_terminate():
+    graph, modules = build({"repro.m": (
+        "def even(n):\n"
+        "    return True if n == 0 else odd(n - 1)\n"
+        "def odd(n):\n"
+        "    return False if n == 0 else even(n - 1)\n"
+        "def loop(n):\n"
+        "    return loop(n)\n"
+    )})
+    analysis = DataflowAnalysis(graph, modules)
+    assert [s.callee for s in graph.edges_from("repro.m.loop")] \
+        == ["repro.m.loop"]
+    # Mutual recursion converges with the identity-ish param flow.
+    assert analysis.summaries["repro.m.even"] is not None
+
+
+def test_summary_composes_param_flow_through_recursion():
+    graph, modules = build({"repro.m": (
+        "def fmt(value, depth):\n"
+        "    if depth > 0:\n"
+        "        return fmt(value, depth - 1)\n"
+        "    return '%s' % value\n"
+    )})
+    analysis = DataflowAnalysis(graph, modules)
+    assert 0 in analysis.summaries["repro.m.fmt"].params_to_return
+
+
+# -- property: determinism under module-order permutation --------------------
+
+_NAMES = ("alpha", "bravo", "charlie", "delta")
+
+
+@st.composite
+def module_sets(draw):
+    """Small random module webs with calls across random targets."""
+    count = draw(st.integers(min_value=2, max_value=4))
+    chosen = _NAMES[:count]
+    sources = {}
+    for index, name in enumerate(chosen):
+        lines = []
+        for other in chosen:
+            if other != name and draw(st.booleans()):
+                lines.append("from repro.gen.%s import f_%s"
+                             % (other, other))
+        body = ["def f_%s(x):" % name]
+        calls = []
+        for other in chosen:
+            if other == name:
+                if draw(st.booleans()):
+                    calls.append("    x = f_%s(x)" % other)
+            elif ("from repro.gen.%s import f_%s" % (other, other)
+                  in lines) and draw(st.booleans()):
+                calls.append("    x = f_%s(x)" % other)
+        body.extend(calls or ["    pass"])
+        body.append("    return x")
+        sources["repro.gen.%s" % name] = "\n".join(lines + body) + "\n"
+    return sources
+
+
+@settings(max_examples=30, deadline=None)
+@given(sources=module_sets(), seed=st.randoms())
+def test_graph_is_invariant_under_module_order(sources, seed):
+    ordered = list(sources.items())
+    shuffled = ordered[:]
+    seed.shuffle(shuffled)
+
+    def construct(items):
+        modules = []
+        for name, src in items:
+            tree = ast.parse(src)
+            modules.append((name, tree,
+                            summarize_module(name, tree, False)))
+        return build_call_graph(modules)
+
+    first = construct(ordered)
+    second = construct(shuffled)
+    assert edge_fingerprint(first) == edge_fingerprint(second)
+    assert sorted(first.functions) == sorted(second.functions)
+
+
+@settings(max_examples=20, deadline=None)
+@given(sources=module_sets(), seed=st.randoms())
+def test_summaries_converge_and_are_order_invariant(sources, seed):
+    ordered = list(sources.items())
+    shuffled = ordered[:]
+    seed.shuffle(shuffled)
+
+    def analyze(items):
+        modules = []
+        for name, src in items:
+            tree = ast.parse(src)
+            modules.append((name, tree,
+                            summarize_module(name, tree, False)))
+        graph = build_call_graph(modules)
+        return DataflowAnalysis(graph, {n: (t, s)
+                                        for n, t, s in modules})
+
+    first = analyze(ordered)
+    second = analyze(shuffled)
+    assert summary_fingerprint(first) == summary_fingerprint(second)
+    findings_first = {m: [(f.line, f.message)
+                          for f in first.findings_for(m)]
+                      for m in sources}
+    findings_second = {m: [(f.line, f.message)
+                           for f in second.findings_for(m)]
+                       for m in sources}
+    assert findings_first == findings_second

@@ -1,0 +1,96 @@
+"""Sharded analysis must be bit-identical to the sequential path.
+
+``--jobs N`` forks workers that inherit the parsed project; the only
+acceptable difference is wall-clock. Output equality is asserted at
+the strongest level available — the rendered JSON document, which
+includes fingerprints, ordering, and summary counts.
+"""
+
+import json
+import textwrap
+
+from repro.cli import main
+from repro.lint import LintEngine, render_json
+
+FIXTURE = {
+    "repro/usecases/wall.py": """
+        import time
+        def stamp():
+            return time.time()
+        """,
+    "repro/drm/direct.py": """
+        from ..crypto.sha1 import sha1
+        def digest(data):
+            return sha1(data)
+        """,
+    "repro/helpers/esc.py": """
+        from repro.crypto.aes import aes_encrypt_block
+        def enc(block, key):
+            return aes_encrypt_block(block, key)
+        """,
+    "repro/drm/escaper.py": """
+        from repro.helpers.esc import enc
+        def protect(block, key):
+            return enc(block, key)
+        """,
+    "repro/sim/proc.py": """
+        def worker(server):
+            grant = yield Acquire(server)
+            yield Wait(3)
+            yield Release(server)
+        """,
+    "repro/sim/leaky.py": """
+        def announce(tracer, kcek):
+            tracer.event("issued", key=kcek)
+        """,
+    "repro/obs/clean.py": """
+        def shape(values):
+            return sorted(values)
+        """,
+}
+
+
+def write_tree(tmp_path):
+    for relpath, source in FIXTURE.items():
+        target = tmp_path / relpath
+        target.parent.mkdir(parents=True, exist_ok=True)
+        target.write_text(textwrap.dedent(source))
+
+
+def document_for(tmp_path, jobs):
+    result = LintEngine().run([str(tmp_path)], jobs=jobs)
+    return render_json(result)
+
+
+def test_parallel_output_is_bit_identical(tmp_path):
+    write_tree(tmp_path)
+    sequential = json.dumps(document_for(tmp_path, jobs=1),
+                            sort_keys=True)
+    for jobs in (2, 3, 8):
+        assert json.dumps(document_for(tmp_path, jobs=jobs),
+                          sort_keys=True) == sequential
+
+
+def test_parallel_finds_every_family(tmp_path):
+    write_tree(tmp_path)
+    document = document_for(tmp_path, jobs=4)
+    assert set(document["counts"]) == {
+        "REP101", "REP201", "REP202", "REP801", "REP901"}
+
+
+def test_jobs_flag_via_cli(tmp_path, capsys):
+    write_tree(tmp_path)
+    code = main(["lint", str(tmp_path), "--no-baseline", "--jobs", "2",
+                 "--format", "json"])
+    assert code == 1
+    parallel = capsys.readouterr().out
+    code = main(["lint", str(tmp_path), "--no-baseline",
+                 "--format", "json"])
+    assert code == 1
+    assert capsys.readouterr().out == parallel
+
+
+def test_jobs_must_be_positive(tmp_path, capsys):
+    write_tree(tmp_path)
+    assert main(["lint", str(tmp_path), "--jobs", "0"]) == 2
+    assert "--jobs" in capsys.readouterr().err

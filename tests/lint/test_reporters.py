@@ -1,9 +1,22 @@
-"""Reporter output: the JSON schema CI parses and the text format."""
+"""Reporter output: the JSON schema CI parses, text, and SARIF.
+
+The SARIF document is byte-pinned against a golden snapshot (the CI
+lint job uploads it for code-scanning annotations); regenerate after an
+intentional format change with::
+
+    UPDATE_GOLDEN=1 python -m pytest tests/lint/test_reporters.py
+"""
 
 import json
+import os
+import pathlib
 import textwrap
 
-from repro.lint import LintEngine, render_json, render_text
+from repro.lint import LintEngine, render_json, render_sarif, \
+    render_text
+
+GOLDEN_DIR = pathlib.Path(__file__).resolve().parent / "golden"
+GOLDEN_SARIF = GOLDEN_DIR / "findings.sarif.json"
 
 
 def run_on(tmp_path, source):
@@ -58,3 +71,46 @@ def test_text_report_lists_findings_and_summary(tmp_path):
 def test_text_report_clean(tmp_path):
     result = run_on(tmp_path, "x = 1\n")
     assert render_text(result).startswith("clean: 0 new findings")
+
+
+def _sarif_fixture_result(tmp_path, monkeypatch):
+    # Relative paths keep fingerprints and artifact URIs independent
+    # of the tmp directory, so the document can be byte-pinned.
+    target = tmp_path / "repro" / "usecases" / "w.py"
+    target.parent.mkdir(parents=True, exist_ok=True)
+    target.write_text(textwrap.dedent("""
+        import time
+        def stamp():
+            return time.time()
+        """))
+    monkeypatch.chdir(tmp_path)
+    return LintEngine().run(["repro"])
+
+
+def test_sarif_schema_shape(tmp_path, monkeypatch):
+    document = render_sarif(_sarif_fixture_result(tmp_path, monkeypatch))
+    assert document["version"] == "2.1.0"
+    run = document["runs"][0]
+    assert run["tool"]["driver"]["name"] == "repro-lint"
+    assert [rule["id"] for rule in run["tool"]["driver"]["rules"]] \
+        == ["REP101"]
+    result = run["results"][0]
+    assert result["ruleId"] == "REP101"
+    assert result["level"] == "error"
+    location = result["locations"][0]["physicalLocation"]
+    assert location["artifactLocation"]["uri"] == "repro/usecases/w.py"
+    assert location["region"]["startLine"] == 4
+    assert location["region"]["startColumn"] >= 1
+    assert result["partialFingerprints"]["reproLint/v1"]
+
+
+def test_sarif_matches_golden_snapshot(tmp_path, monkeypatch):
+    document = render_sarif(_sarif_fixture_result(tmp_path, monkeypatch))
+    generated = json.dumps(document, indent=2, sort_keys=True) + "\n"
+    monkeypatch.chdir(GOLDEN_DIR.parent)  # leave tmp before writing
+    if os.environ.get("UPDATE_GOLDEN"):
+        GOLDEN_DIR.mkdir(exist_ok=True)
+        GOLDEN_SARIF.write_text(generated, encoding="utf-8")
+    assert generated == GOLDEN_SARIF.read_text(encoding="utf-8"), \
+        "SARIF output drifted from the golden snapshot; if " \
+        "intentional, regenerate with UPDATE_GOLDEN=1."

@@ -142,23 +142,182 @@ def test_rep202_allows_calls_through_the_provider(tmp_path):
     assert rule_ids(result) == []
 
 
-# -- REP3xx secret hygiene ---------------------------------------------------
+def test_rep202_proves_deep_chains_with_witness_path(tmp_path):
+    # Three modules deep: the one-level summary heuristic of PR 3
+    # could not see this; call-graph reachability must, and the
+    # finding must carry the whole uncovered path as evidence.
+    result = lint_tree(tmp_path, {
+        "repro/helpers/inner.py": """
+            from repro.crypto.sha1 import sha1
+            def digest(data):
+                return sha1(data)
+            """,
+        "repro/helpers/outer.py": """
+            from .inner import digest
+            def checksum(data):
+                return digest(data)
+            """,
+        "repro/sim/user.py": """
+            from repro.helpers.outer import checksum
+            def process(data):
+                return checksum(data)
+            """,
+    })
+    findings = [f for f in result.findings if f.rule == "REP202"]
+    assert len(findings) == 1
+    assert "uncovered path" in findings[0].message
+    assert "repro.helpers.outer.checksum" in findings[0].message
+    assert "repro.helpers.inner.digest" in findings[0].message
 
-def test_rep301_flags_secret_in_fstring_and_exception(tmp_path):
+
+# -- REP9xx sim resource protocol --------------------------------------------
+
+def test_rep901_flags_release_outside_finally(tmp_path):
+    result = lint_tree(tmp_path, {"repro/sim/p.py": """
+        def worker(kernel, server):
+            grant = yield Acquire(server)
+            yield Wait(5)
+            yield Release(server)
+        """})
+    assert rule_ids(result) == ["REP901"]
+
+
+def test_rep901_flags_acquire_with_no_release(tmp_path):
+    result = lint_tree(tmp_path, {"repro/sim/p.py": """
+        def worker(kernel, server):
+            grant = yield Acquire(server)
+            yield Wait(5)
+        """})
+    assert rule_ids(result) == ["REP901"]
+
+
+def test_rep901_allows_release_in_finally(tmp_path):
+    result = lint_tree(tmp_path, {"repro/sim/p.py": """
+        def worker(kernel, server):
+            grant = yield Acquire(server)
+            if grant is REJECTED:
+                return
+            try:
+                yield Wait(5)
+            finally:
+                yield Release(server)
+        """})
+    assert rule_ids(result) == []
+
+
+def test_rep901_allows_immediate_release(tmp_path):
+    # No suspension inside the critical section: nothing can raise
+    # while the grant is held, so the plain Release is fine.
+    result = lint_tree(tmp_path, {"repro/sim/p.py": """
+        def touch(server):
+            grant = yield Acquire(server)
+            yield Release(server)
+        """})
+    assert rule_ids(result) == []
+
+
+def test_rep902_flags_nested_acquire_allows_wait(tmp_path):
+    result = lint_tree(tmp_path, {"repro/sim/p.py": """
+        def deadlocky(a, b):
+            yield Acquire(a)
+            try:
+                yield Acquire(b)
+                try:
+                    yield Wait(1)
+                finally:
+                    yield Release(b)
+            finally:
+                yield Release(a)
+        def fine(a):
+            yield Acquire(a)
+            try:
+                yield Wait(10)
+            finally:
+                yield Release(a)
+        """})
+    assert rule_ids(result) == ["REP902"]
+
+
+def test_rep903_flags_kernel_state_mutation_outside_kernel(tmp_path):
+    result = lint_tree(tmp_path, {"repro/sim/hack.py": """
+        def skip_ahead(kernel, ticks):
+            kernel.now = kernel.now + ticks
+        """})
+    assert rule_ids(result) == ["REP903"]
+
+
+def test_rep903_allows_the_kernel_module_itself(tmp_path):
+    result = lint_tree(tmp_path, {"repro/sim/kernel.py": """
+        class Kernel:
+            def _advance(kernel, when):
+                kernel.now = when
+        """})
+    assert rule_ids(result) == []
+
+
+# -- REP3xx secret hygiene / REP8xx secret taint -----------------------------
+
+def test_rep801_flags_secret_in_fstring_and_exception(tmp_path):
     result = lint_tree(tmp_path, {"repro/drm/k.py": """
         def fail(kdev, reason):
             detail = f"kdev={kdev}"
             raise RuntimeError("bad key material %r" % kdev)
         """})
-    assert rule_ids(result) == ["REP301", "REP301"]
+    assert rule_ids(result) == ["REP801", "REP801"]
 
 
-def test_rep301_allows_metadata_and_public_names(tmp_path):
+def test_rep801_allows_metadata_and_public_names(tmp_path):
     result = lint_tree(tmp_path, {"repro/drm/k.py": """
         def describe(key, public_key, key_id):
             raise ValueError(
                 "key of %d octets, id %s, modulus %d"
                 % (len(key), key_id, public_key.modulus_octets))
+        """})
+    assert rule_ids(result) == []
+
+
+def test_rep801_tracks_flow_through_helper_calls(tmp_path):
+    result = lint_tree(tmp_path, {
+        "repro/sim/fmt.py": """
+            def shorten(value):
+                return "v=%s" % value
+            """,
+        "repro/sim/leak.py": """
+            from .fmt import shorten
+            def announce(tracer, session):
+                tracer.event("debug", key=shorten(session.kcek))
+            """,
+    })
+    findings = [f for f in result.findings if f.rule == "REP801"]
+    assert [f.rule for f in findings] == ["REP801"]
+    assert "kcek" in findings[0].message
+
+
+def test_rep801_reports_interprocedural_path_evidence(tmp_path):
+    result = lint_tree(tmp_path, {
+        "repro/obs/emit.py": """
+            def record(logger, value):
+                logger.info("value: %s" % value)
+            """,
+        "repro/drm/caller.py": """
+            from repro.obs.emit import record
+            def run(logger, ctx):
+                record(logger, ctx.krek)
+            """,
+    })
+    findings = [f for f in result.findings if f.rule == "REP801"]
+    assert len(findings) == 1
+    assert "repro.drm.caller.run -> repro.obs.emit.record" \
+        in findings[0].message
+
+
+def test_rep801_allows_stable_digest_redaction(tmp_path):
+    result = lint_tree(tmp_path, {"repro/drm/k.py": """
+        def key_fingerprint(material):
+            return "fp"
+        def fail(kdev):
+            raise RuntimeError(
+                "bad key %s" % key_fingerprint(kdev))
         """})
     assert rule_ids(result) == []
 

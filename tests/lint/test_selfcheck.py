@@ -83,8 +83,11 @@ def test_list_rules_names_every_family(capsys):
     assert main(["lint", "--list-rules"]) == 0
     out = capsys.readouterr().out
     for rule_id in ("REP101", "REP102", "REP103", "REP201", "REP202",
-                    "REP301", "REP302", "REP401", "REP402", "REP403"):
+                    "REP302", "REP401", "REP402", "REP403",
+                    "REP801", "REP901", "REP902", "REP903"):
         assert rule_id in out
+    # REP301's syntactic heuristic is fully replaced by REP801 taint.
+    assert "REP301" not in out
 
 
 def test_suppressions_in_committed_tree_are_justified(in_repo_root,
