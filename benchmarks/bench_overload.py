@@ -1,0 +1,126 @@
+"""Retry-storm engine throughput and the overload smoke gate.
+
+Two storm runs at the pinned benchmark seed, both on the software RI:
+
+* **unmitigated** — no admission control, naive fixed-delay retries,
+  no deadline propagation: the metastable collapse;
+* **mitigated** — token-bucket admission, capped exponential backoff
+  with jitter, in-queue deadlines: the escape.
+
+Run directly (``python benchmarks/bench_overload.py``) it prints the
+throughput/goodput table, re-runs each storm to prove bit-identical
+digests (the determinism contract under timing pressure), enforces the
+overload smoke gate — goodput with mitigation must not be *worse* than
+without, and the unmitigated collapse must outlive the recovery window
+while the mitigated cell recovers inside it — and emits
+``BENCH_overload.json`` for CI trend tracking. ``--out PATH``
+redirects the artifact.
+"""
+
+import json
+import sys
+import time
+
+from repro.sim.overload import StormSpec, run_storm
+
+SEED = "bench-overload"
+
+SPECS = (
+    ("unmitigated", StormSpec(seed=SEED)),
+    ("mitigated", StormSpec(seed=SEED, admission="token-bucket",
+                            retry="backoff-jitter", deadlines=True)),
+)
+
+#: The smoke-gate recovery window: five spike durations, the same bar
+#: the analysis contract holds.
+WINDOW = 5 * SPECS[0][1].spike_duration
+
+
+def _storm(spec):
+    result = run_storm(spec)
+    return result.events, result
+
+
+def bench_overload_unmitigated(benchmark):
+    benchmark(lambda: _storm(SPECS[0][1]))
+
+
+def bench_overload_mitigated(benchmark):
+    benchmark(lambda: _storm(SPECS[1][1]))
+
+
+def test_storms_replay_bit_identically():
+    for _name, spec in SPECS:
+        assert run_storm(spec).digest() == run_storm(spec).digest()
+
+
+def test_smoke_gate_mitigation_beats_collapse():
+    unmitigated = run_storm(SPECS[0][1])
+    mitigated = run_storm(SPECS[1][1])
+    assert mitigated.goodput_ratio >= unmitigated.goodput_ratio
+    assert unmitigated.collapse_duration >= WINDOW
+    assert mitigated.recovered_within(WINDOW)
+
+
+def measure(spec):
+    start = time.perf_counter()
+    events, result = _storm(spec)
+    wall = time.perf_counter() - start
+    return {"events": events, "wall_seconds": wall,
+            "events_per_second": events / wall,
+            "goodput_ratio": result.goodput_ratio,
+            "collapse_service_units": result.collapse_duration,
+            "recovery_service_units": result.recovery_time,
+            "wasted_share": result.wasted_share,
+            "digest": result.digest()}, result
+
+
+def main(argv) -> int:
+    out = "BENCH_overload.json"
+    if "--out" in argv:
+        out = argv[argv.index("--out") + 1]
+
+    report = {"seed": SEED, "recovery_window": WINDOW, "storms": {}}
+    failures = []
+    results = {}
+    print("storm         wall [s]   events     events/s   goodput  "
+          "collapse  recovery")
+    for name, spec in SPECS:
+        timing, result = measure(spec)
+        replay_timing, replay = measure(spec)
+        if replay.digest() != timing["digest"]:
+            failures.append("%s diverged between runs" % name)
+        best = min(timing, replay_timing,
+                   key=lambda t: t["wall_seconds"])
+        report["storms"][name] = best
+        results[name] = result
+        print("%-13s %-10.2f %-10d %-10.0f %-8.2f %-9d %s"
+              % (name, best["wall_seconds"], best["events"],
+                 best["events_per_second"], result.goodput_ratio,
+                 result.collapse_duration,
+                 "never" if result.recovery_time is None
+                 else result.recovery_time))
+
+    if results["mitigated"].goodput_ratio \
+            < results["unmitigated"].goodput_ratio:
+        failures.append("mitigated goodput below unmitigated")
+    if results["unmitigated"].collapse_duration < WINDOW:
+        failures.append("unmitigated storm was not metastable")
+    if not results["mitigated"].recovered_within(WINDOW):
+        failures.append("mitigated storm failed to recover in the "
+                        "window")
+
+    with open(out, "w", encoding="utf-8") as handle:
+        json.dump(report, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print("wrote %s" % out)
+
+    for failure in failures:
+        print("FAIL: " + failure)
+    print("overload smoke gate %s"
+          % ("FAILED" if failures else "PASSED"))
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

@@ -8,8 +8,8 @@ the in-text claims, message sizes — into a single Markdown document, and
 from dataclasses import dataclass
 
 from . import (adversary, claims, durability, figure5, figure6, figure7,
-               fleet, messages, observability, resilience, saturation,
-               table1)
+               fleet, messages, observability, overload, resilience,
+               saturation, table1)
 from .common import DEFAULT_SEED
 from .formatting import deviation_pct
 
@@ -88,6 +88,10 @@ def generate(seed: str = DEFAULT_SEED) -> ReproductionReport:
     sections.append("## Rights Issuer saturation\n\n```\n%s\n```"
                     % saturated.render())
 
+    stormed = overload.generate(seed)
+    sections.append("## Overload control and retry storms\n\n```\n%s"
+                    "\n```" % stormed.render())
+
     attacked = adversary.generate(seed)
     sections.append("## Adversary and outage degradation\n\n```\n%s\n```"
                     % attacked.render())
@@ -114,6 +118,15 @@ def generate(seed: str = DEFAULT_SEED) -> ReproductionReport:
     verdicts.append(
         "Forgery cut-off refund: %.0f%% of the attacked flow's "
         "crypto spend" % (100.0 * attacked.drains[0].saved_fraction))
+    verdicts.append(
+        "Retry-storm collapse without mitigation: %d service units "
+        "after a %d-unit spike; %d/%d mitigated combos recovered "
+        "inside the %d-unit window"
+        % (stormed.sweep.baseline.collapse_duration,
+           stormed.sweep.baseline.spec.spike_duration,
+           len(stormed.sweep.recovered()),
+           len(stormed.sweep.grid) - 1,
+           stormed.sweep.recovery_window))
     sections.append("## Verdict\n\n" + "\n".join(
         "* " + v for v in verdicts))
 

@@ -18,6 +18,9 @@ Commands:
   (``--kernel`` replays it on the event kernel's shared RI).
 * ``saturation`` — RI utilization/latency vs offered load per
   architecture on the event kernel.
+* ``overload`` — retry-storm metastability: goodput collapse and
+  recovery across (admission policy × retry discipline × deadline
+  propagation) under a load spike.
 * ``trace`` — run a named scenario with the cycle-timebase tracer and
   export Chrome trace-event JSON plus a metrics registry.
 * ``report`` — write the full paper-vs-measured Markdown report.
@@ -38,8 +41,8 @@ from enum import Enum
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from .analysis import (adversary, claims, durability, figure5, figure6,
-                       figure7, fleet, report, resilience, saturation,
-                       table1)
+                       figure7, fleet, overload, report, resilience,
+                       saturation, table1)
 from .analysis.common import DEFAULT_SEED
 from .analysis.formatting import format_ms, format_table
 from .core.architecture import PAPER_PROFILES
@@ -394,6 +397,13 @@ def _build_saturation(args: argparse.Namespace) -> CommandOutput:
     return analysis.render(), analysis
 
 
+def _build_overload(args: argparse.Namespace) -> CommandOutput:
+    analysis = overload.generate(seed=args.seed,
+                                 architecture=args.arch,
+                                 jobs=args.jobs)
+    return analysis.render(), analysis
+
+
 def _build_trace(args: argparse.Namespace) -> CommandOutput:
     tracer = Tracer(profile=_PROFILES[args.arch], actor="terminal")
     run_scenario(args.scenario, tracer, seed=args.seed,
@@ -608,6 +618,20 @@ def build_parser() -> argparse.ArgumentParser:
     sub.add_argument("--queue-limit", type=int, default=None,
                      help="bound the signing queue; overflowing "
                           "requests are refused")
+
+    sub = analysis_parser("overload",
+                          "retry-storm metastability: admission "
+                          "control vs retry discipline under a load "
+                          "spike",
+                          _build_overload)
+    sub.add_argument("--seed", default=DEFAULT_SEED)
+    sub.add_argument("--arch", choices=tuple(_PROFILES), default="SW",
+                     help="architecture profile of the storm grid "
+                          "(the cross-check table always covers the "
+                          "others)")
+    sub.add_argument("--jobs", type=int, default=1,
+                     help="worker processes for the sweep; results "
+                          "are bit-identical for any count")
 
     sub = analysis_parser("trace",
                           "trace a named scenario on the cycle "

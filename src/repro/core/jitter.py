@@ -1,0 +1,58 @@
+"""Shared deterministic jitter and seed derivation.
+
+Two subsystems grew the same idiom independently: the session layer's
+retry backoff (:class:`repro.drm.session.RetryPolicy`) derives a
+0..jitter offset from ``sha1("<salt>/<attempt>")``, and the event
+kernel (:meth:`repro.sim.kernel.Kernel.stream`) seeds its per-entity
+DRBG streams from ``"<seed>/<name>"``. This module is the single
+definition both build on, so the derivations can never drift apart —
+the bit-exact equivalence suites (``tests/sim/test_equivalence.py``,
+``tests/drm/test_session.py``) depend on every byte of it.
+
+Design notes:
+
+* :func:`derive` is a plain ``"/"``-join. It is deliberately *not*
+  injective across part boundaries (``derive("a/b") == derive("a",
+  "b")``) — callers namespace their salts, and the historical formats
+  (``"%s/%s"``, ``"%s/%d"``) must be reproduced byte-for-byte.
+* :func:`deterministic_jitter` takes the *first octet* of the SHA-1
+  digest modulo ``spread + 1``. One octet bounds the spread at 255,
+  which is intentional: jitter desynchronizes a fleet, it does not
+  need entropy, and the narrow range keeps every historical backoff
+  value unchanged.
+"""
+
+# repro: allow[REP201] -- jitter/seed derivation is scheduling bookkeeping, intentionally unpriced like the DRBG (see repro.core.meter); routing it through the provider would distort the paper's Table 1 costs
+from ..crypto.sha1 import sha1
+
+
+def derive(*parts) -> str:
+    """Join derivation parts with ``"/"`` — the repo's one seed idiom.
+
+    ``derive(seed, name)`` reproduces the kernel's historical
+    ``"%s/%s" % (seed, name)`` stream seeds and the session's
+    ``"%s/%d" % (salt, attempt)`` jitter keys exactly.
+    """
+    return "/".join(str(part) for part in parts)
+
+
+def stream_seed(seed: str, name: str) -> str:
+    """The DRBG seed for entity ``name`` under kernel seed ``seed``."""
+    return derive(seed, name)
+
+
+def deterministic_jitter(salt: str, attempt: int, spread: int) -> int:
+    """A stable pseudo-random offset in ``0..spread`` (inclusive).
+
+    Derived from ``sha1(derive(salt, attempt))`` — the same value for
+    the same inputs on every platform and every run, so a fleet of
+    devices desynchronizes without any single device being
+    nondeterministic. Bit-exact with the historical
+    ``RetryPolicy.backoff_seconds`` jitter term.
+    """
+    if spread < 0:
+        raise ValueError("the jitter spread must be non-negative")
+    if spread == 0:
+        return 0
+    digest = sha1(derive(salt, attempt).encode("utf-8"))
+    return digest[0] % (spread + 1)

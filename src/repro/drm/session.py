@@ -67,9 +67,8 @@ import enum
 from dataclasses import dataclass
 from typing import Any, Callable, List, Optional, Tuple
 
+from ..core.jitter import deterministic_jitter
 from ..crypto.errors import SignatureError
-# repro: allow[REP201] -- jitter derivation is session bookkeeping, intentionally unpriced like the DRBG (see repro.core.meter); routing it through the provider would distort the paper's Table 1 costs
-from ..crypto.sha1 import sha1
 from ..obs.tracer import NULL_TRACER
 from .errors import (ChannelError, ContextExpiredError, DRMError,
                      NonceMismatchError, TrustError, WireDecodeError)
@@ -139,8 +138,9 @@ class RetryPolicy:
             * self.backoff_multiplier ** (attempt - 1)
         delay = min(int(base), self.max_backoff_seconds)
         if self.jitter_seconds:
-            digest = sha1(("%s/%d" % (salt, attempt)).encode("utf-8"))
-            delay += digest[0] % (self.jitter_seconds + 1)
+            # repro: allow[REP202] -- the shared jitter helper hashes scheduling salt, not protocol bytes; it is intentionally unpriced, exactly like the DRBG (see repro.core.jitter)
+            delay += deterministic_jitter(salt, attempt,
+                                          self.jitter_seconds)
         return delay
 
 
@@ -290,6 +290,10 @@ class SessionOutcome:
     reregistrations: int = 0
     elapsed_seconds: int = 0
     transitions: Tuple[Transition, ...] = ()
+    #: True when the flow aborted because its deadline budget ran out —
+    #: the crypto already spent on failed attempts stays on the priced
+    #: trace (abandoned work is work).
+    deadline_exceeded: bool = False
 
     @property
     def completed(self) -> bool:
@@ -312,12 +316,20 @@ class RoapSession:
     def __init__(self, agent, channel,
                  policy: RetryPolicy = RetryPolicy(),
                  name: str = "roap-session",
-                 breaker: Optional[CircuitBreaker] = None) -> None:
+                 breaker: Optional[CircuitBreaker] = None,
+                 deadline_seconds: Optional[int] = None) -> None:
+        if deadline_seconds is not None and deadline_seconds < 0:
+            raise ValueError("the deadline budget must be non-negative")
         self.agent = agent
         self.channel = channel
         self.policy = policy
         self.name = name
         self.breaker = breaker
+        #: Per-flow latency budget in simulation seconds: a driven flow
+        #: aborts (``deadline_exceeded=True``) instead of starting an
+        #: attempt — or sleeping a backoff — that cannot finish inside
+        #: it. ``None`` means unbounded, the historical behavior.
+        self.deadline_seconds = deadline_seconds
         self.tracer = getattr(agent, "tracer", NULL_TRACER)
         self.transitions: List[Transition] = []
         self.state = SessionState.IDLE
@@ -367,6 +379,15 @@ class RoapSession:
         last_trust_key: Optional[Tuple[str, str]] = None
         identical_trust_failures = 0
         while attempts < self.policy.max_attempts:
+            if self.deadline_seconds is not None \
+                    and self.clock.now - started >= self.deadline_seconds:
+                self.tracer.event("session.deadline", track="roap",
+                                  label=label, attempts=attempts)
+                return self._abort(
+                    label, started, attempts, reregistrations,
+                    "deadline budget of %d s exhausted after %d "
+                    "attempt(s)" % (self.deadline_seconds, attempts),
+                    deadline_exceeded=True)
             if self.breaker is not None \
                     and not self.breaker.allow_attempt():
                 self.tracer.event("session.fast-fail", track="roap",
@@ -439,6 +460,20 @@ class RoapSession:
                     break
                 delay = self.policy.backoff_seconds(
                     attempts, salt="%s/%s" % (self.name, label))
+                if self.deadline_seconds is not None \
+                        and self.clock.now - started + delay \
+                        > self.deadline_seconds:
+                    # Sleeping the backoff would overrun the budget:
+                    # abort now instead of waking up already late. The
+                    # crypto spent on the failed attempts stays priced.
+                    self.tracer.event("session.deadline", track="roap",
+                                      label=label, attempts=attempts)
+                    return self._abort(
+                        label, started, attempts, reregistrations,
+                        "deadline budget of %d s cannot absorb a %d s "
+                        "backoff after %d attempt(s)"
+                        % (self.deadline_seconds, delay, attempts),
+                        deadline_exceeded=True)
                 self._enter(SessionState.BACKOFF,
                             "retry in %d s after %s: %s"
                             % (delay, type(exc).__name__, exc))
@@ -467,7 +502,8 @@ class RoapSession:
             % (attempts, type(last_error).__name__, last_error))
 
     def _abort(self, label: str, started: int, attempts: int,
-               reregistrations: int, reason: str) -> SessionOutcome:
+               reregistrations: int, reason: str,
+               deadline_exceeded: bool = False) -> SessionOutcome:
         self._enter(SessionState.ABORTED, "%s: %s" % (label, reason))
         self.tracer.event("session.abort", track="roap", label=label,
                           attempts=attempts, reason=reason)
@@ -475,4 +511,5 @@ class RoapSession:
             outcome=Outcome.ABORTED, attempts=attempts, reason=reason,
             reregistrations=reregistrations,
             elapsed_seconds=self.clock.now - started,
-            transitions=tuple(self.transitions))
+            transitions=tuple(self.transitions),
+            deadline_exceeded=deadline_exceeded)

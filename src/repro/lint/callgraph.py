@@ -56,6 +56,12 @@ class FunctionNode:
     is_method: bool = False
     is_generator: bool = False
     owner_class: Optional[str] = None   # qualname of the owning class
+    #: Identifiers this function's own body tests with ``is``/``is
+    #: not`` — the sentinel checks (REJECTED, TIMED_OUT, None, ...)
+    #: interprocedural rules consult without re-reading the module's
+    #: AST (REP904 asks whether a *caller* checks the expiry sentinel
+    #: of a value it received).
+    sentinel_tests: Tuple[str, ...] = ()
 
 
 @dataclass(frozen=True)
@@ -181,7 +187,8 @@ class _ModuleIndexer(ast.NodeVisitor):
             qualname=qualname, module=self.module, name=relative,
             line=node.lineno, params=tuple(params),
             is_method=is_method, is_generator=is_generator,
-            owner_class=owner))
+            owner_class=owner,
+            sentinel_tests=_sentinel_tests(node)))
         if is_method:
             self._class_stack[-1].methods[node.name] = qualname
         self._func_stack.append(node.name)
@@ -190,6 +197,34 @@ class _ModuleIndexer(ast.NodeVisitor):
 
     visit_FunctionDef = _visit_function
     visit_AsyncFunctionDef = _visit_function
+
+
+def _sentinel_tests(node) -> Tuple[str, ...]:
+    """Identifiers this function tests with ``is``/``is not``.
+
+    Only the function's own body counts (nested defs are indexed as
+    their own nodes): an ``outcome is TIMED_OUT`` in a helper does not
+    make the enclosing function a sentinel checker.
+    """
+    found: Set[str] = set()
+
+    def walk(current) -> None:
+        for child in ast.iter_child_nodes(current):
+            if isinstance(child, (ast.FunctionDef,
+                                  ast.AsyncFunctionDef, ast.Lambda)):
+                continue
+            if isinstance(child, ast.Compare) \
+                    and any(isinstance(op, (ast.Is, ast.IsNot))
+                            for op in child.ops):
+                for comparator in [child.left] + child.comparators:
+                    if isinstance(comparator, ast.Name):
+                        found.add(comparator.id)
+                    elif isinstance(comparator, ast.Attribute):
+                        found.add(comparator.attr)
+            walk(child)
+
+    walk(node)
+    return tuple(sorted(found))
 
 
 def _generator_check(node) -> bool:

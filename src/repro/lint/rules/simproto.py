@@ -19,6 +19,14 @@ race-detector analogue for that cooperative concurrency:
   queues, stream tables) assigned from outside
   :mod:`repro.sim.kernel`: mutating it behind the scheduler's back
   breaks replay determinism and the FIFO-stability invariant.
+* **REP904** — an ``Acquire`` with a timeout whose
+  :data:`~repro.sim.kernel.TIMED_OUT` expiry sentinel is never
+  checked: the process would treat an expired wait as a real grant —
+  serving a request whose client already left, then releasing a slot
+  it never held. The sent value must be compared ``is`` /
+  ``is not TIMED_OUT`` in the function itself, or escape via
+  ``return`` to a caller that does (one caller level, resolved
+  through the PR 8 call graph's per-function sentinel-test index).
 
 Resources are keyed by the *text* of the expression passed to
 ``Acquire``/``Release`` (``self.signing`` matches ``self.signing``), so
@@ -261,5 +269,199 @@ class NoKernelStateMutationRule(Rule):
                         "may mutate scheduler state" % target.attr)
 
 
+#: The expiry sentinel's name; matched as a bare name or attribute
+#: (``TIMED_OUT`` and ``kernel.TIMED_OUT`` both count).
+_TIMED_OUT = "TIMED_OUT"
+
+
+def _acquire_timeout(call: ast.Call) -> Optional[ast.AST]:
+    """The timeout expression of an ``Acquire`` call, if armed.
+
+    ``None`` when no timeout is passed or it is the literal ``None``
+    (an untimed acquire can never see the sentinel).
+    """
+    timeout: Optional[ast.AST] = None
+    if len(call.args) > 1:
+        timeout = call.args[1]
+    for keyword in call.keywords:
+        if keyword.arg == "timeout":
+            timeout = keyword.value
+    if isinstance(timeout, ast.Constant) and timeout.value is None:
+        return None
+    return timeout
+
+
+def _timed_acquires(function) -> List[Tuple[ast.Yield,
+                                            Optional[str], bool]]:
+    """``(yield node, bound name, discarded)`` per timed Acquire.
+
+    Only the function's own body (nested defs are visited as their own
+    functions). ``bound`` is the single name the sent value lands in
+    for the plain ``grant = yield Acquire(...)`` shape; ``discarded``
+    marks a bare expression statement, whose sent value nothing can
+    ever observe.
+    """
+    sites: List[Tuple[ast.Yield, Optional[str], bool]] = []
+
+    def timed(node: ast.AST) -> Optional[ast.Yield]:
+        if not isinstance(node, ast.Yield) or node.value is None:
+            return None
+        command = _command_call(node.value)
+        if command is None or command[0] != _ACQUIRE:
+            return None
+        if _acquire_timeout(node.value) is None:
+            return None
+        return node
+
+    def walk(current: ast.AST) -> None:
+        for child in ast.iter_child_nodes(current):
+            if isinstance(child, (ast.FunctionDef,
+                                  ast.AsyncFunctionDef, ast.Lambda,
+                                  ast.ClassDef)):
+                continue
+            if isinstance(child, ast.Assign) \
+                    and timed(child.value) is not None:
+                target = child.targets[0]
+                bound = target.id \
+                    if len(child.targets) == 1 \
+                    and isinstance(target, ast.Name) else None
+                sites.append((timed(child.value), bound, False))
+                continue
+            if isinstance(child, ast.Expr) \
+                    and timed(child.value) is not None:
+                sites.append((timed(child.value), None, True))
+                continue
+            node = timed(child)
+            if node is not None:
+                # Consumed inline (inside a comparison or call): the
+                # local sentinel-test scan decides.
+                sites.append((node, None, False))
+                continue
+            walk(child)
+
+    walk(function)
+    return sites
+
+
+def _tests_timed_out(function) -> bool:
+    """Whether this body compares something ``is (not) TIMED_OUT``."""
+    def walk(current: ast.AST) -> bool:
+        for child in ast.iter_child_nodes(current):
+            if isinstance(child, (ast.FunctionDef,
+                                  ast.AsyncFunctionDef, ast.Lambda,
+                                  ast.ClassDef)):
+                continue
+            if isinstance(child, ast.Compare) \
+                    and any(isinstance(op, (ast.Is, ast.IsNot))
+                            for op in child.ops):
+                for comparator in [child.left] + child.comparators:
+                    name = comparator.id \
+                        if isinstance(comparator, ast.Name) else \
+                        comparator.attr \
+                        if isinstance(comparator, ast.Attribute) \
+                        else None
+                    if name == _TIMED_OUT:
+                        return True
+            if walk(child):
+                return True
+        return False
+
+    return walk(function)
+
+
+def _returns_name(function, bound: str) -> bool:
+    """Whether ``bound`` escapes this body through a ``return``."""
+    def walk(current: ast.AST) -> bool:
+        for child in ast.iter_child_nodes(current):
+            if isinstance(child, (ast.FunctionDef,
+                                  ast.AsyncFunctionDef, ast.Lambda,
+                                  ast.ClassDef)):
+                continue
+            if isinstance(child, ast.Return) \
+                    and child.value is not None:
+                for node in ast.walk(child.value):
+                    if isinstance(node, ast.Name) \
+                            and node.id == bound:
+                        return True
+            if walk(child):
+                return True
+        return False
+
+    return walk(function)
+
+
+class TimeoutSentinelHandledRule(Rule):
+    """REP904: a timed Acquire must observe the TIMED_OUT sentinel."""
+
+    id = "REP904"
+    title = ("yield Acquire(..., timeout=...) whose TIMED_OUT expiry "
+             "sentinel is never checked — an expired wait would be "
+             "handled as a real grant, serving an abandoned request "
+             "and releasing a slot the process never held")
+    default_scopes = ("repro.sim", "repro.usecases")
+
+    def _caller_tests(self, project, ctx, line: int) -> bool:
+        """Whether any direct caller checks the sentinel.
+
+        The escape hatch for ``return``-ed grants: the function at
+        ``line`` of this module is resolved in the project call graph
+        and its callers' pre-indexed ``sentinel_tests`` are consulted
+        — one caller level, which is exactly how far a returned
+        sentinel can travel before the repository's own conventions
+        (wrap it in an outcome object) take over.
+        """
+        graph = getattr(project, "callgraph", None)
+        if graph is None:
+            return False
+        target = None
+        for fn in graph.functions_in_module(ctx.name):
+            if fn.line == line:
+                target = fn
+                break
+        if target is None:
+            return False
+        for caller in sorted(graph.functions):
+            for site in graph.edges_from(caller):
+                if site.callee != target.qualname:
+                    continue
+                node = graph.functions.get(caller)
+                if node is not None \
+                        and _TIMED_OUT in node.sentinel_tests:
+                    return True
+        return False
+
+    def check(self, ctx, project) -> Iterator[RawFinding]:
+        for function in ctx.functions():
+            sites = _timed_acquires(function)
+            if not sites:
+                continue
+            handled_here = _tests_timed_out(function)
+            for node, bound, discarded in sites:
+                resource = _render_key(node)
+                if discarded:
+                    yield self.finding(
+                        node,
+                        "the sent value of Acquire(%s, timeout=...) "
+                        "is discarded; an in-queue expiry (TIMED_OUT) "
+                        "can never be observed" % resource)
+                    continue
+                if handled_here:
+                    continue
+                if bound is not None \
+                        and _returns_name(function, bound) \
+                        and self._caller_tests(project, ctx,
+                                               function.lineno):
+                    continue
+                yield self.finding(
+                    node,
+                    "grant of Acquire(%s, timeout=...) is never "
+                    "compared `is TIMED_OUT` here%s; an expired wait "
+                    "would be treated as a real grant"
+                    % (resource,
+                       " or in any caller it escapes to"
+                       if bound is not None
+                       and _returns_name(function, bound) else ""))
+
+
 RULES = (ReleaseOnExceptionPathsRule, NoNestedAcquireRule,
-         NoKernelStateMutationRule)
+         NoKernelStateMutationRule, TimeoutSentinelHandledRule)

@@ -39,14 +39,18 @@ from ..usecases.fleet import (CostTemplates, DeviceDraw, FleetConfig,
                               draw_device, run_fleet)
 from .kernel import Kernel, Wait
 from .queueing import exponential_ticks
-from .ri import RICapacity, RIServer
+# DEFAULT_REQUEST_MIX and nominal_service_ticks moved to repro.sim.ri
+# (the admission policies size their budgets from them); re-exported
+# here because the saturation analysis and external callers import
+# them from the fleet module.
+from .ri import (DEFAULT_REQUEST_MIX, RICapacity, RIServer,
+                 nominal_service_ticks)
 
-#: Default request mix for open-load generation: the per-attempt request
-#: pattern of the fleet engine (DeviceHello + RegistrationRequest per
-#: registration attempt, one RORequest per acquisition) at the default
-#: mix of flows.
-DEFAULT_REQUEST_MIX: Mapping[str, float] = {
-    "hello": 0.4, "registration": 0.4, "acquisition": 0.2}
+__all__ = [
+    "DEFAULT_REQUEST_MIX", "ArchitectureLoadResult",
+    "KernelFleetResult", "OpenLoadResult", "nominal_service_ticks",
+    "run_fleet_kernel", "run_open_load",
+]
 
 
 def _device_requests(draw: DeviceDraw) -> Tuple[str, ...]:
@@ -186,25 +190,6 @@ def run_fleet_kernel(config: FleetConfig, workers: int = 1,
 
 
 # -- open load -------------------------------------------------------------
-
-def nominal_service_ticks(profile: ArchitectureProfile,
-                          mix: Mapping[str, float] = DEFAULT_REQUEST_MIX
-                          ) -> float:
-    """Mix-weighted mean service demand, in ticks, at an empty RI.
-
-    The denominator of offered load: an RI with ``u`` signing units
-    saturates near ``u * clock_hz / nominal_service_ticks`` requests
-    per second. Excludes the state-dependent terms (OCSP refresh,
-    replay-cache growth), which is why measured utilization runs
-    slightly above the nominal offered load at high rates.
-    """
-    probe = RIServer(Kernel(seed="nominal", record_log=False), profile)
-    total = sum(mix.values())
-    if total <= 0:
-        raise ValueError("the request mix must have positive weight")
-    return sum(weight * probe.base_ticks(kind)
-               for kind, weight in mix.items()) / total
-
 
 @dataclass
 class OpenLoadResult:

@@ -38,12 +38,17 @@ from dataclasses import dataclass
 from random import Random
 from typing import Any, Dict, Generator, List, Optional, Tuple
 
+from ..core.jitter import stream_seed
 from ..core.stats import StreamingStats, TimeWeightedStats
 # repro: allow[REP201] -- state digests are simulation bookkeeping, not protocol crypto; pricing them would distort every priced artifact
 from ..crypto.sha1 import sha1
 
 #: Sentinel sent into a process whose Acquire was refused (queue full).
 REJECTED = object()
+
+#: Sentinel sent into a process whose Acquire waited out its timeout:
+#: the request expired *in the queue*, consuming no service.
+TIMED_OUT = object()
 
 #: Process generator type: yields commands, receives grants.
 ProcessBody = Generator[Any, Any, Any]
@@ -65,10 +70,33 @@ class Wait:
 
 @dataclass(frozen=True)
 class Acquire:
-    """Request one unit of ``resource``; resumes with a grant token
-    (or :data:`REJECTED` when the bounded queue is full)."""
+    """Request one unit of ``resource``; resumes with a grant token.
+
+    The sent value is the grant — or :data:`REJECTED` when the bounded
+    queue is full, or :data:`TIMED_OUT` when ``timeout`` ticks elapsed
+    before a server freed up (the request expires in-queue without ever
+    consuming service; ``timeout=0`` expires immediately unless a
+    server is free right now). Lower ``priority`` values are granted
+    first; equal priorities keep strict FIFO arrival order, so the
+    default ``priority=0`` preserves the historical queue discipline
+    exactly.
+    """
 
     resource: "Resource"
+    timeout: Optional[int] = None
+    priority: int = 0
+
+    def __post_init__(self) -> None:
+        if self.timeout is not None:
+            if not isinstance(self.timeout, int) \
+                    or isinstance(self.timeout, bool):
+                raise TypeError("acquire timeouts are integer ticks")
+            if self.timeout < 0:
+                raise ValueError("an acquire timeout cannot be "
+                                 "negative")
+        if not isinstance(self.priority, int) \
+                or isinstance(self.priority, bool):
+            raise TypeError("acquire priorities are integers")
 
 
 @dataclass(frozen=True)
@@ -94,6 +122,35 @@ class Process:
         return "Process(%r, %s)" % (self.name, self.state)
 
 
+class _Waiter:
+    """One queued Acquire: its process plus queue-discipline keys."""
+
+    __slots__ = ("process", "enqueued", "priority", "order", "alive")
+
+    def __init__(self, process: Process, enqueued: int, priority: int,
+                 order: int) -> None:
+        self.process = process
+        self.enqueued = enqueued
+        self.priority = priority
+        self.order = order
+        #: Cleared on grant or expiry; a dead waiter's pending expiry
+        #: timer is a no-op (popped without advancing the clock).
+        self.alive = True
+
+    def sort_key(self) -> Tuple[int, int]:
+        return (self.priority, self.order)
+
+
+class _Expiry:
+    """A heap entry that expires one queued waiter at its deadline."""
+
+    __slots__ = ("resource", "waiter")
+
+    def __init__(self, resource: "Resource", waiter: _Waiter) -> None:
+        self.resource = resource
+        self.waiter = waiter
+
+
 class Kernel:
     """The discrete-event scheduler; see the module docstring."""
 
@@ -103,7 +160,7 @@ class Kernel:
         self.record_log = record_log
         self.now = 0
         self._seq = 0
-        self._heap: List[Tuple[int, int, Process]] = []
+        self._heap: List[Tuple[int, int, Any]] = []
         self._pending: List[Tuple[int, Process]] = []
         self._processes: Dict[str, Process] = {}
         self._streams: Dict[str, Random] = {}
@@ -130,8 +187,8 @@ class Kernel:
         """
         rng = self._streams.get(name)
         if rng is None:
-            rng = self._streams[name] = Random("%s/%s" % (self.seed,
-                                                          name))
+            rng = self._streams[name] = Random(stream_seed(self.seed,
+                                                           name))
         return rng
 
     def spawn(self, name: str, body: ProcessBody,
@@ -168,6 +225,10 @@ class Kernel:
         process._inbox = inbox
         heapq.heappush(self._heap, (at, self._seq, process))
 
+    def _schedule_timer(self, expiry: "_Expiry", at: int) -> None:
+        self._seq += 1
+        heapq.heappush(self._heap, (at, self._seq, expiry))
+
     def _flush_pending(self) -> None:
         # Sorting by (start, name) before seq assignment is what makes
         # registration order immaterial: any permutation of the same
@@ -197,19 +258,55 @@ class Kernel:
         self._running = True
         try:
             while self._heap:
-                at, _seq, process = self._heap[0]
+                at, _seq, entry = self._heap[0]
                 if until is not None and at > until:
                     self.now = until
                     return self.now
                 heapq.heappop(self._heap)
+                if isinstance(entry, _Expiry):
+                    if not entry.waiter.alive:
+                        # A cancelled timer (its waiter was granted or
+                        # rejected first) is popped silently: no clock
+                        # advance, no event executed, so a run with
+                        # unfired timeouts is bit-identical to one
+                        # that never armed them.
+                        continue
+                    self.now = at
+                    self.events_executed += 1
+                    entry.resource._expire(entry.waiter)
+                    continue
                 self.now = at
                 self.events_executed += 1
-                self._step(process)
+                self._step(entry)
         finally:
             self._running = False
         if until is not None and until > self.now:
             self.now = until
         return self.now
+
+    def close(self) -> None:
+        """Close every unfinished process generator, silently.
+
+        A run stopped at ``until`` leaves suspended generators behind
+        — queued waiters, in-service holders, sleeping clients. Left
+        to garbage collection, Python closes them lazily and prints
+        an ignored ``RuntimeError`` whenever a ``finally: yield
+        Release`` fires during close. Closing explicitly (and
+        swallowing that structurally-inevitable yield) tears a stopped
+        simulation down without noise. Idempotent; do not ``run`` the
+        kernel afterwards.
+        """
+        for process in self._processes.values():
+            close = getattr(process.body, "close", None)
+            if close is None:
+                continue
+            try:
+                close()
+            except RuntimeError:
+                # The process's ``finally: yield Release`` fired while
+                # closing — the release it would have issued had it
+                # finished. There is no scheduler left to hand it to.
+                pass
 
     def _step(self, process: Process) -> None:
         process.state = "running"
@@ -226,7 +323,8 @@ class Kernel:
             self._log("wait", process.name, command.ticks)
             self._schedule(process, self.now + command.ticks, None)
         elif isinstance(command, Acquire):
-            command.resource._request(process)
+            command.resource._request(process, timeout=command.timeout,
+                                      priority=command.priority)
         elif isinstance(command, Release):
             command.resource._release(process)
         else:
@@ -244,8 +342,12 @@ class Kernel:
         pause/resume property tests to prove a paused kernel is
         byte-for-byte the kernel an unpaused run passes through.
         """
-        heap = sorted((at, seq, process.name, process.state)
-                      for at, seq, process in self._heap)
+        heap = sorted(
+            (at, seq, entry.name, entry.state)
+            if isinstance(entry, Process)
+            else (at, seq, "timer:%s" % entry.waiter.process.name,
+                  "armed" if entry.waiter.alive else "cancelled")
+            for at, seq, entry in self._heap)
         pending = sorted((at, process.name)
                          for at, process in self._pending)
         streams = [(name, self._streams[name].getstate())
@@ -258,13 +360,18 @@ class Kernel:
 
 
 class Resource:
-    """A bounded pool of identical servers with a FIFO grant queue.
+    """A bounded pool of identical servers with a priority-FIFO queue.
 
     ``capacity`` units serve concurrently; further :class:`Acquire`
-    requests queue in arrival order. A ``queue_limit`` bounds the queue:
-    requests beyond it resume immediately with :data:`REJECTED` instead
-    of waiting — the deterministic analogue of a connection-refused
-    front-end.
+    requests queue ordered by ``(priority, arrival)`` — lower priority
+    values first, strict FIFO inside a class, so the default priority 0
+    reproduces the historical pure-FIFO discipline exactly. A
+    ``queue_limit`` bounds the queue: requests beyond it resume
+    immediately with :data:`REJECTED` instead of waiting — the
+    deterministic analogue of a connection-refused front-end. An
+    :class:`Acquire` ``timeout`` arms an in-queue expiry: if no server
+    frees up in time the waiter resumes with :data:`TIMED_OUT`, having
+    consumed zero service — the substrate deadline propagation needs.
 
     Occupancy and queue depth are tracked as exact integer areas
     (:class:`~repro.core.stats.TimeWeightedStats`), and per-grant queue
@@ -284,9 +391,11 @@ class Resource:
         self.capacity = capacity
         self.queue_limit = queue_limit
         self._busy = 0
-        self._queue: List[Tuple[Process, int]] = []
+        self._queue: List[_Waiter] = []
+        self._order = 0
         self.grants = 0
         self.rejections = 0
+        self.timeouts = 0
         self.busy_servers = TimeWeightedStats()
         self.queue_depth = TimeWeightedStats()
         self.wait_ticks = StreamingStats()
@@ -302,7 +411,8 @@ class Resource:
         self.kernel._log("grant", process.name, self.name, waited)
         self.kernel._schedule(process, self.kernel.now, self)
 
-    def _request(self, process: Process) -> None:
+    def _request(self, process: Process, timeout: Optional[int] = None,
+                 priority: int = 0) -> None:
         now = self.kernel.now
         if self._busy < self.capacity and not self._queue:
             self._grant(process, 0)
@@ -312,11 +422,28 @@ class Resource:
             process.state = "rejected"
             self.kernel._log("reject", process.name, self.name)
             self.kernel._schedule(process, now, REJECTED)
+        elif timeout == 0:
+            # Zero patience and no free server: the request expires on
+            # arrival, before ever occupying a queue slot.
+            self.timeouts += 1
+            process.state = "timed-out"
+            self.kernel._log("timeout", process.name, self.name, 0)
+            self.kernel._schedule(process, now, TIMED_OUT)
         else:
-            self._queue.append((process, now))
+            self._order += 1
+            waiter = _Waiter(process, now, priority, self._order)
+            index = len(self._queue)
+            key = waiter.sort_key()
+            while index > 0 \
+                    and self._queue[index - 1].sort_key() > key:
+                index -= 1
+            self._queue.insert(index, waiter)
             self.queue_depth.observe(len(self._queue), now)
             process.state = "queued"
             self.kernel._log("enqueue", process.name, self.name)
+            if timeout is not None:
+                self.kernel._schedule_timer(_Expiry(self, waiter),
+                                            now + timeout)
 
     def _release(self, process: Process) -> None:
         if self._busy < 1:
@@ -332,9 +459,23 @@ class Resource:
         # at the current tick, ordered by seq: FIFO, never hash order.
         self.kernel._schedule(process, now, None)
         if self._queue:
-            waiter, enqueued = self._queue.pop(0)
+            waiter = self._queue.pop(0)
+            # Granting cancels any armed expiry timer for this waiter.
+            waiter.alive = False
             self.queue_depth.observe(len(self._queue), now)
-            self._grant(waiter, now - enqueued)
+            self._grant(waiter.process, now - waiter.enqueued)
+
+    def _expire(self, waiter: _Waiter) -> None:
+        """Fire one armed expiry: the waiter leaves the queue unserved."""
+        waiter.alive = False
+        self._queue.remove(waiter)
+        now = self.kernel.now
+        self.queue_depth.observe(len(self._queue), now)
+        self.timeouts += 1
+        waiter.process.state = "timed-out"
+        self.kernel._log("timeout", waiter.process.name, self.name,
+                         now - waiter.enqueued)
+        self.kernel._schedule(waiter.process, now, TIMED_OUT)
 
     # -- statistics -------------------------------------------------------
     @property
@@ -360,9 +501,10 @@ class Resource:
         return self.queue_depth.mean(span)
 
     def _state_key(self) -> Tuple[Any, ...]:
-        return (self.name, self._busy,
-                tuple((process.name, enqueued)
-                      for process, enqueued in self._queue))
+        return (self.name, self._busy, self.timeouts,
+                tuple((waiter.process.name, waiter.enqueued,
+                       waiter.priority, waiter.order)
+                      for waiter in self._queue))
 
 
 def drain(kernel: Kernel) -> int:

@@ -34,7 +34,7 @@ virtual clock via :meth:`~repro.obs.tracer.Tracer.advance_to`.
 
 import math
 from dataclasses import dataclass
-from typing import Any, Dict, Generator, Optional, Tuple
+from typing import Any, Dict, Generator, Mapping, Optional, Tuple
 
 from ..core.architecture import ArchitectureProfile
 from ..core.costs import PAPER_TABLE1, CostTable
@@ -42,16 +42,27 @@ from ..core.stats import StreamingStats
 from ..core.trace import Algorithm, OperationRecord, Phase
 from ..obs.metrics import MetricsRegistry
 from ..obs.tracer import NULL_TRACER
-from .kernel import REJECTED, Acquire, Kernel, Release, Resource, Wait
+from .kernel import (REJECTED, TIMED_OUT, Acquire, Kernel, Release,
+                     Resource, Wait)
 
 #: Request kinds the RI serves, with the ROAP pass each one models.
-REQUEST_KINDS = ("hello", "registration", "acquisition")
+REQUEST_KINDS = ("hello", "registration", "acquisition",
+                 "domain-join")
 
 #: Octets of ROAP message body the RI hashes per request kind (canonical
 #: sizes of the seed worlds' wire messages, rounded to a stable figure —
 #: hashing is a rounding error next to the RSA work either way).
 _MESSAGE_OCTETS = {"hello": 256, "registration": 2048,
-                   "acquisition": 1536}
+                   "acquisition": 1536, "domain-join": 1024}
+
+#: Default request mix for open-load generation: the per-attempt request
+#: pattern of the fleet engine (DeviceHello + RegistrationRequest per
+#: registration attempt, one RORequest per acquisition) at the default
+#: mix of flows. Domain joins are absent from the default mix — the
+#: fleet scenarios are device-keyed — but the kind is priced and
+#: servable for sweeps that include it.
+DEFAULT_REQUEST_MIX: Mapping[str, float] = {
+    "hello": 0.4, "registration": 0.4, "acquisition": 0.2}
 
 #: Default OCSP responder round-trip, in milliseconds of pure latency.
 DEFAULT_OCSP_FETCH_MS = 50.0
@@ -75,6 +86,11 @@ def service_records(kind: str) -> Tuple[OperationRecord, ...]:
     * ``acquisition`` — verify the signed RO Request (RSA public), wrap
       the REK/MAC material (AES), MAC the protected RO (HMAC), and sign
       the RO Response (RSA private).
+    * ``domain-join`` — verify the signed JoinDomainRequest (RSA
+      public), wrap the domain key for the device (AES), MAC the
+      domain-key payload (HMAC), and sign the JoinDomainResponse (RSA
+      private). Priced under the registration phase: domain management
+      is device-provisioning traffic, not per-content acquisition.
 
     Replay-cache and OCSP costs are *not* here — they depend on server
     state and are added by :meth:`RIServer.service_ticks`.
@@ -96,6 +112,26 @@ def service_records(kind: str) -> Tuple[OperationRecord, ...]:
                             phase=Phase.REGISTRATION,
                             label="ri-verify-request", invocations=1,
                             blocks=1),
+            OperationRecord(algorithm=Algorithm.RSA_PRIVATE,
+                            phase=Phase.REGISTRATION,
+                            label="ri-sign-response", invocations=1,
+                            blocks=1),
+        )
+    if kind == "domain-join":
+        return (
+            hash_record,
+            OperationRecord(algorithm=Algorithm.RSA_PUBLIC,
+                            phase=Phase.REGISTRATION,
+                            label="ri-verify-request", invocations=1,
+                            blocks=1),
+            OperationRecord(algorithm=Algorithm.AES_ENCRYPT,
+                            phase=Phase.REGISTRATION,
+                            label="ri-wrap-domain-key", invocations=1,
+                            blocks=3),
+            OperationRecord(algorithm=Algorithm.HMAC_SHA1,
+                            phase=Phase.REGISTRATION,
+                            label="ri-mac-domain-key", invocations=1,
+                            blocks=_blocks_128(octets)),
             OperationRecord(algorithm=Algorithm.RSA_PRIVATE,
                             phase=Phase.REGISTRATION,
                             label="ri-sign-response", invocations=1,
@@ -140,12 +176,56 @@ class RICapacity:
             raise ValueError("the queue limit must be non-negative")
 
 
+#: Terminal statuses of one served request, in conservation order:
+#: every arrival ends in exactly one of them.
+SERVE_STATUSES = ("served", "refused", "shed", "timed-out")
+
+
+@dataclass(frozen=True)
+class ServeOutcome:
+    """What happened to one request driven through ``serve_request``.
+
+    ``status`` is one of :data:`SERVE_STATUSES`:
+
+    * ``served`` — granted and fully serviced; ``finished - arrived``
+      is the sojourn latency.
+    * ``refused`` — the bounded signing queue was full
+      (:data:`~repro.sim.kernel.REJECTED`): the hard backstop.
+    * ``shed`` — admission control declined it before it occupied a
+      queue slot; ``shed_reason`` names the policy's rationale.
+    * ``timed-out`` — its deadline/timeout expired while still queued
+      (:data:`~repro.sim.kernel.TIMED_OUT`): it consumed queue space
+      but zero service.
+    """
+
+    kind: str
+    status: str
+    arrived: int
+    finished: int
+    waited: int = 0
+    service_ticks: int = 0
+    shed_reason: str = ""
+
+    @property
+    def served(self) -> bool:
+        """Whether the request was fully serviced."""
+        return self.status == "served"
+
+    @property
+    def latency(self) -> int:
+        """Sojourn ticks from arrival to resolution (any status)."""
+        return self.finished - self.arrived
+
+
 class RIServer:
     """One Rights Issuer instance serving requests on the kernel.
 
     Device processes drive it with ``yield from ri.serve(kind)``; the
     returned value is the request's sojourn latency in ticks, or
-    ``None`` when the bounded queue refused the request.
+    ``None`` when the bounded queue refused the request. The richer
+    ``yield from ri.serve_request(kind, deadline=..., timeout=...)``
+    returns a :class:`ServeOutcome` and engages admission control and
+    in-queue expiry.
     """
 
     def __init__(self, kernel: Kernel, profile: ArchitectureProfile,
@@ -155,6 +235,7 @@ class RIServer:
                  ocsp_validity_seconds: int =
                  DEFAULT_OCSP_VALIDITY_SECONDS,
                  replay_pressure: bool = True,
+                 admission=None,
                  tracer=NULL_TRACER) -> None:
         self.kernel = kernel
         self.profile = profile
@@ -182,10 +263,20 @@ class RIServer:
         self.ocsp_fetches = 0
         self.served = 0
         self.refused = 0
+        self.shed = 0
+        self.timed_out = 0
+        #: Signing-unit ticks spent serving requests (useful against
+        #: the wasted-work share a retry storm produces).
+        self.service_ticks_total = 0
         self.latency = StreamingStats()
         self.latency_by_kind: Dict[str, StreamingStats] = {
             kind: StreamingStats() for kind in REQUEST_KINDS}
         self.metrics = MetricsRegistry()
+        #: Admission policy consulted on every ``serve_request``
+        #: arrival; ``None`` admits everything (the historical path).
+        self.admission = admission
+        if admission is not None:
+            admission.bind(self)
 
     # -- pricing ----------------------------------------------------------
     def base_ticks(self, kind: str) -> int:
@@ -231,24 +322,111 @@ class RIServer:
                 self.ocsp_fetches += 1
         return ticks
 
+    def nominal_service_ticks(self, mix: Mapping[str, float] =
+                              DEFAULT_REQUEST_MIX) -> float:
+        """Mix-weighted mean service demand, in ticks, at an empty RI.
+
+        The denominator of offered load: an RI with ``u`` signing
+        units saturates near ``u * clock_hz / nominal_service_ticks``
+        requests per second. Excludes the state-dependent terms (OCSP
+        refresh, replay-cache growth), which is why measured
+        utilization runs slightly above the nominal offered load at
+        high rates. Admission policies size their budgets from this
+        figure, which keeps one policy configuration meaningful on
+        every architecture.
+        """
+        total = sum(mix.values())
+        if total <= 0:
+            raise ValueError("the request mix must have positive "
+                             "weight")
+        return sum(weight * self.base_ticks(kind)
+                   for kind, weight in mix.items()) / total
+
     # -- the serving protocol ---------------------------------------------
     def serve(self, kind: str) -> Generator[Any, Any, Optional[int]]:
         """Serve one request; ``yield from`` this in a device process.
 
         Returns the request's sojourn latency in ticks (queue wait plus
-        service), or ``None`` when the queue refused it.
+        service), or ``None`` when the queue refused it. A thin wrapper
+        over :meth:`serve_request` preserving the PR 7 surface.
+        """
+        outcome = yield from self.serve_request(kind)
+        if not outcome.served:
+            return None
+        return outcome.latency
+
+    def serve_request(self, kind: str, deadline: Optional[int] = None,
+                      timeout: Optional[int] = None
+                      ) -> Generator[Any, Any, ServeOutcome]:
+        """Serve one request under admission control and deadlines.
+
+        ``deadline`` is an absolute kernel tick past which the answer
+        is worthless to the caller; ``timeout`` a relative patience
+        bound. Either (the tighter wins) arms an in-queue expiry, so a
+        hopeless request stops occupying queue space instead of
+        consuming service it cannot use — and a request arriving
+        already past its deadline resolves ``timed-out`` on the spot.
+        The bound admission policy is consulted first and may shed the
+        arrival before it touches the queue at all.
         """
         if kind not in self._base_ticks:
             raise ValueError("unknown request kind %r (expected one of "
                              "%s)" % (kind, ", ".join(REQUEST_KINDS)))
         arrived = self.kernel.now
-        grant = yield Acquire(self.signing)
+        priority = 0
+        if self.admission is not None:
+            priority = self.admission.priority(kind)
+            reason = self.admission.admit(self, kind, arrived)
+            if reason is not None:
+                self.shed += 1
+                self.metrics.counter("ri.shed")
+                self.metrics.counter("ri.shed.%s" % kind)
+                return ServeOutcome(kind=kind, status="shed",
+                                    arrived=arrived, finished=arrived,
+                                    shed_reason=reason)
+        wait_budget = timeout
+        if deadline is not None:
+            remaining = deadline - arrived
+            if remaining <= 0:
+                self.timed_out += 1
+                self.metrics.counter("ri.timed_out")
+                self.metrics.counter("ri.timed_out.%s" % kind)
+                return ServeOutcome(kind=kind, status="timed-out",
+                                    arrived=arrived, finished=arrived)
+            if wait_budget is None or remaining < wait_budget:
+                wait_budget = remaining
+        if self.admission is not None:
+            self.admission.on_admitted(self, kind, arrived)
+        grant = yield Acquire(self.signing, timeout=wait_budget,
+                              priority=priority)
         if grant is REJECTED:
+            if self.admission is not None:
+                self.admission.on_departed(self, kind, self.kernel.now,
+                                           "refused")
             self.refused += 1
             self.metrics.counter("ri.refused")
             self.metrics.counter("ri.refused.%s" % kind)
-            return None
+            return ServeOutcome(kind=kind, status="refused",
+                                arrived=arrived,
+                                finished=self.kernel.now)
+        if grant is TIMED_OUT:
+            if self.admission is not None:
+                self.admission.on_departed(self, kind, self.kernel.now,
+                                           "timed-out")
+            self.timed_out += 1
+            self.metrics.counter("ri.timed_out")
+            self.metrics.counter("ri.timed_out.%s" % kind)
+            waited = self.kernel.now - arrived
+            self.metrics.histogram("ri.expired_wait_ticks", waited)
+            return ServeOutcome(kind=kind, status="timed-out",
+                                arrived=arrived,
+                                finished=self.kernel.now,
+                                waited=waited)
+        if self.admission is not None:
+            self.admission.on_departed(self, kind, self.kernel.now,
+                                       "granted")
         waited = self.kernel.now - arrived
+        ticks = 0
         try:
             ticks = self.service_ticks(kind)
             self.tracer.advance_to(self.kernel.now)
@@ -266,6 +444,7 @@ class RIServer:
         if kind != "hello":
             self.replay_entries += 1
         self.served += 1
+        self.service_ticks_total += ticks
         self.latency.add(latency)
         self.latency_by_kind[kind].add(latency)
         self.metrics.counter("ri.served")
@@ -274,7 +453,9 @@ class RIServer:
         self.metrics.histogram("ri.latency_ticks.%s" % kind, latency)
         self.metrics.gauge("ri.queue_peak", self.signing.queue_depth
                            .maximum)
-        return latency
+        return ServeOutcome(kind=kind, status="served",
+                            arrived=arrived, finished=self.kernel.now,
+                            waited=waited, service_ticks=ticks)
 
     # -- aggregate views --------------------------------------------------
     def utilization(self) -> float:
@@ -289,3 +470,16 @@ class RIServer:
         """A latency summary converted to milliseconds."""
         value = getattr(self.latency.summary(), summary_attr) or 0
         return value / self.ticks_per_second * 1000.0
+
+
+def nominal_service_ticks(profile: ArchitectureProfile,
+                          mix: Mapping[str, float] = DEFAULT_REQUEST_MIX
+                          ) -> float:
+    """Mix-weighted mean service demand of ``profile``, in ticks.
+
+    Module-level convenience over
+    :meth:`RIServer.nominal_service_ticks` for callers sizing a sweep
+    before any server exists (a throwaway probe server prices it).
+    """
+    probe = RIServer(Kernel(seed="nominal", record_log=False), profile)
+    return probe.nominal_service_ticks(mix)

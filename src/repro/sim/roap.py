@@ -71,6 +71,11 @@ class EpisodeSpec:
     breaker: bool = False
     breaker_policy: BreakerPolicy = BreakerPolicy()
     retry: RetryPolicy = EPISODE_RETRIES
+    #: Per-flow deadline budget in simulation seconds: each driven flow
+    #: aborts (``deadline_exceeded``) rather than start an attempt — or
+    #: sleep a backoff — it cannot finish inside the budget. ``None``
+    #: keeps flows unbounded (the historical behavior).
+    deadline_seconds: Optional[int] = None
 
     def __post_init__(self) -> None:
         if self.accesses < 0 or self.plays < 1:
@@ -79,6 +84,10 @@ class EpisodeSpec:
         if self.accesses > self.plays:
             raise ValueError("cannot access more times than the "
                              "license permits")
+        if self.deadline_seconds is not None \
+                and self.deadline_seconds < 0:
+            raise ValueError("the deadline budget must be "
+                             "non-negative")
 
 
 @dataclass
@@ -138,7 +147,8 @@ def build_episode(spec: EpisodeSpec) -> Episode:
                if spec.breaker else None)
     session = RoapSession(world.agent, channel, spec.retry,
                           name="session/%s" % spec.seed,
-                          breaker=breaker)
+                          breaker=breaker,
+                          deadline_seconds=spec.deadline_seconds)
     return Episode(spec=spec, world=world, session=session, ro_id=ro_id,
                    content_id=content_id)
 
@@ -203,9 +213,54 @@ def run_episode(spec: EpisodeSpec) -> EpisodeResult:
     return _result(episode, state, started, flow_seconds)
 
 
+class KernelBoundClock:
+    """A breaker clock that also sees kernel virtual time.
+
+    The PR 6 breaker cools down on the episode's internal
+    :class:`~repro.drm.clock.SimulationClock`; inside a kernel run that
+    clock only advances while *this* episode executes, so an OPEN
+    breaker could never reach HALF_OPEN through time other processes
+    spent — the cool-down was wall-clock-independent but also
+    kernel-blind. This adapter reports the episode's epoch plus the
+    *maximum* of the world-clock seconds and the kernel ticks elapsed
+    since binding (the episode mirrors its world seconds onto the
+    kernel at one tick per second, so the two advance in lock-step for
+    a solo episode — ``max`` therefore changes nothing in the
+    contention-free equivalence bridge, while concurrent episodes let
+    kernel time carry the cool-down deterministically).
+    """
+
+    def __init__(self, clock, kernel: Kernel) -> None:
+        self._clock = clock
+        self._kernel = kernel
+        self._world_epoch = clock.now
+        self._kernel_epoch = kernel.now
+
+    @property
+    def now(self) -> int:
+        world = self._clock.now - self._world_epoch
+        kernel = self._kernel.now - self._kernel_epoch
+        return self._world_epoch + max(world, kernel)
+
+    def advance(self, seconds: int) -> None:
+        """Delegate waits to the real world clock (breaker never calls
+        this, but clock consumers expect the surface)."""
+        self._clock.advance(seconds)
+
+
+def bind_breaker_to_kernel(session: RoapSession,
+                           kernel: Kernel) -> None:
+    """Bind ``session``'s breaker cool-down to kernel virtual time."""
+    if session.breaker is not None:
+        session.breaker.clock = KernelBoundClock(
+            session.breaker.clock, kernel)
+
+
 def episode_process(spec: EpisodeSpec,
                     results: Dict[str, EpisodeResult],
-                    name: str) -> Generator[Any, Any, EpisodeResult]:
+                    name: str,
+                    kernel: Optional[Kernel] = None
+                    ) -> Generator[Any, Any, EpisodeResult]:
     """The same episode as a kernel process body.
 
     Each flow runs synchronously inside one kernel event; the
@@ -213,9 +268,15 @@ def episode_process(spec: EpisodeSpec,
     kernel as a :class:`Wait` at one tick per second, so concurrent
     episodes space out on the shared timeline exactly as their internal
     clocks did. The finished :class:`EpisodeResult` lands in
-    ``results[name]`` (and in the process's ``result``).
+    ``results[name]`` (and in the process's ``result``). When the
+    owning ``kernel`` is passed, a breaker-carrying episode has its
+    cool-down bound to kernel virtual time (see
+    :class:`KernelBoundClock`) so open/half-open transitions are
+    deterministic under contention too.
     """
     episode = build_episode(spec)
+    if kernel is not None:
+        bind_breaker_to_kernel(episode.session, kernel)
     started = episode.world.clock.now
     flow_seconds: Dict[str, int] = {}
     state, steps = _flow_steps(episode)
@@ -246,6 +307,7 @@ def run_kernel_episode(spec: EpisodeSpec,
     kernel = kernel if kernel is not None else Kernel(
         seed="%s/kernel" % spec.seed)
     results: Dict[str, EpisodeResult] = {}
-    kernel.spawn(name, episode_process(spec, results, name))
+    kernel.spawn(name, episode_process(spec, results, name,
+                                       kernel=kernel))
     kernel.run()
     return results[name]

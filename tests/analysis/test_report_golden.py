@@ -36,6 +36,7 @@ EXPECTED_SECTIONS = (
     "## Durability overhead and recovery",
     "## Fleet-scale workload",
     "## Rights Issuer saturation",
+    "## Overload control and retry storms",
     "## Adversary and outage degradation",
     "## Observability",
     "## Verdict",

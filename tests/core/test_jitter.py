@@ -1,0 +1,59 @@
+"""The shared jitter/seed helper: one derivation, bit-exact forever.
+
+Two subsystems used to carry private copies of the same idiom — the
+session layer's SHA-1 backoff jitter and the kernel's per-entity
+stream seeds. :mod:`repro.core.jitter` is now the single definition,
+and these tests pin it byte-for-byte to both historical formats: any
+drift would silently re-time every seeded artifact in the repo.
+"""
+
+from random import Random
+
+import pytest
+
+from repro.core.jitter import derive, deterministic_jitter, stream_seed
+from repro.crypto.sha1 import sha1
+from repro.drm.session import RetryPolicy
+from repro.sim.kernel import Kernel
+
+
+def test_derive_is_the_slash_join_idiom():
+    assert derive("seed", "name") == "seed/name"
+    assert derive("salt", 3) == "salt/3"
+    # Deliberately not injective across part boundaries: historical
+    # formats pre-compose their salts.
+    assert derive("a/b") == derive("a", "b")
+
+
+def test_stream_seed_matches_the_kernel_derivation():
+    kernel = Kernel(seed="prop")
+    draws = [kernel.stream("dev-1").random() for _ in range(3)]
+    # The historical formula: Random("%s/%s" % (seed, name)).
+    reference = Random(stream_seed("prop", "dev-1"))
+    assert stream_seed("prop", "dev-1") == "prop/dev-1"
+    assert draws == [reference.random() for _ in range(3)]
+
+
+def test_jitter_is_the_first_sha1_octet_mod_spread():
+    for attempt in (1, 2, 7):
+        expected = sha1(("dev-a/%d" % attempt).encode("utf-8"))[0] % 4
+        assert deterministic_jitter("dev-a", attempt, 3) == expected
+
+
+def test_jitter_bounds_and_validation():
+    values = {deterministic_jitter("salt", n, 5) for n in range(1, 50)}
+    assert values <= set(range(6))
+    assert len(values) > 1  # it does actually spread
+    assert deterministic_jitter("salt", 1, 0) == 0
+    with pytest.raises(ValueError):
+        deterministic_jitter("salt", 1, -1)
+
+
+def test_retry_policy_backoff_decomposes_over_the_helper():
+    policy = RetryPolicy(base_backoff_seconds=2,
+                         backoff_multiplier=2.0,
+                         max_backoff_seconds=64, jitter_seconds=3)
+    for attempt in range(1, 8):
+        base = min(int(2 * 2.0 ** (attempt - 1)), 64)
+        assert policy.backoff_seconds(attempt, salt="dev-a") \
+            == base + deterministic_jitter("dev-a", attempt, 3)

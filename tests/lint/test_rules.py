@@ -255,6 +255,114 @@ def test_rep903_allows_the_kernel_module_itself(tmp_path):
     assert rule_ids(result) == []
 
 
+def test_rep904_flags_unchecked_timed_grant(tmp_path):
+    result = lint_tree(tmp_path, {"repro/sim/p.py": """
+        def worker(kernel, server):
+            grant = yield Acquire(server, timeout=5)
+            if grant is REJECTED:
+                return
+            try:
+                yield Wait(3)
+            finally:
+                yield Release(server)
+        """})
+    assert rule_ids(result) == ["REP904"]
+
+
+def test_rep904_flags_discarded_timed_grant(tmp_path):
+    result = lint_tree(tmp_path, {"repro/sim/p.py": """
+        def touch(server):
+            yield Acquire(server, timeout=5)
+            yield Release(server)
+        """})
+    findings = [f for f in result.findings if f.rule == "REP904"]
+    assert rule_ids(result) == ["REP904"]
+    assert "discarded" in findings[0].message
+
+
+def test_rep904_allows_local_sentinel_test(tmp_path):
+    result = lint_tree(tmp_path, {"repro/sim/p.py": """
+        def worker(kernel, server):
+            grant = yield Acquire(server, timeout=5)
+            if grant is REJECTED or grant is TIMED_OUT:
+                return
+            try:
+                yield Wait(3)
+            finally:
+                yield Release(server)
+        """})
+    assert rule_ids(result) == []
+
+
+def test_rep904_ignores_untimed_acquires(tmp_path):
+    result = lint_tree(tmp_path, {"repro/sim/p.py": """
+        def worker(kernel, server):
+            grant = yield Acquire(server)
+            try:
+                yield Wait(3)
+            finally:
+                yield Release(server)
+        def explicit(kernel, server):
+            grant = yield Acquire(server, timeout=None)
+            try:
+                yield Wait(3)
+            finally:
+                yield Release(server)
+        """})
+    assert rule_ids(result) == []
+
+
+def test_rep904_accepts_grant_checked_by_its_caller(tmp_path):
+    result = lint_tree(tmp_path, {"repro/sim/p.py": """
+        def probe(server):
+            grant = yield Acquire(server, timeout=9)
+            if grant is REJECTED:
+                return grant
+            yield Release(server)
+            return grant
+
+        def caller(kernel, server):
+            grant = yield from probe(server)
+            if grant is TIMED_OUT:
+                return None
+            return grant
+        """})
+    assert rule_ids(result) == []
+
+
+def test_rep904_flags_grant_no_caller_checks(tmp_path):
+    result = lint_tree(tmp_path, {"repro/sim/p.py": """
+        def probe(server):
+            grant = yield Acquire(server, timeout=9)
+            if grant is REJECTED:
+                return grant
+            yield Release(server)
+            return grant
+
+        def caller(kernel, server):
+            grant = yield from probe(server)
+            return grant
+        """})
+    findings = [f for f in result.findings if f.rule == "REP904"]
+    assert rule_ids(result) == ["REP904"]
+    assert "any caller it escapes to" in findings[0].message
+
+
+def test_rep904_suppressible_inline(tmp_path):
+    result = lint_tree(tmp_path, {"repro/sim/p.py": """
+        def worker(kernel, server):
+            grant = yield Acquire(server, timeout=5)  # repro: allow[REP904] -- expiry handled by the harness
+            if grant is REJECTED:
+                return
+            try:
+                yield Wait(3)
+            finally:
+                yield Release(server)
+        """})
+    assert rule_ids(result) == []
+    assert len(result.suppressed) == 1
+
+
 # -- REP3xx secret hygiene / REP8xx secret taint -----------------------------
 
 def test_rep801_flags_secret_in_fstring_and_exception(tmp_path):

@@ -257,6 +257,28 @@ def test_json_flag_on_fleet(capsys):
     assert data["result"]["metrics"]["counters"]["fleet.devices"] == 200
 
 
+def test_overload(capsys):
+    code, out = run_cli(capsys, "overload", "--jobs", "2")
+    assert code == 0
+    assert "none/naive" in out
+    assert "token-bucket/backoff-jitter+deadline" in out
+    assert "Spike severity ladder" in out
+    assert "Architecture cross-check" in out
+
+
+def test_json_flag_on_overload(capsys):
+    code, out = run_cli(capsys, "overload", "--jobs", "2", "--json")
+    assert code == 0
+    data = json.loads(out)
+    grid = data["sweep"]["grid"]
+    assert "none/naive" in grid
+    # The machine-readable headline: the unmitigated cell never
+    # recovers while the mitigated reference does.
+    assert grid["none/naive"]["recovery_bin"] is None
+    assert grid["token-bucket/backoff-jitter+deadline"][
+        "recovery_bin"] is not None
+
+
 def test_trace_command_writes_chrome_and_metrics(capsys, tmp_path):
     trace_path = str(tmp_path / "t.trace.json")
     metrics_path = str(tmp_path / "t.metrics.json")
