@@ -12,13 +12,16 @@ protocol stack), so the number measured is the scheduler itself:
 Run directly (``python benchmarks/bench_kernel.py``) it prints the
 throughput table, re-runs each workload to prove bit-identical
 statistics (the determinism contract under timing pressure), and emits
-``BENCH_kernel.json`` — machine-readable events/sec for CI trend
-tracking. ``--out PATH`` redirects the artifact.
+``BENCH_kernel.json`` in the shared bench-report schema
+(``benchmarks/harness.py``): event counts are gated (deterministic per
+seed), wall-clock throughput is informational. ``--out PATH``
+redirects the artifact.
 """
 
-import json
 import sys
 import time
+
+import harness
 
 from repro.core.architecture import HW_PROFILE
 from repro.sim.fleet import run_open_load
@@ -76,7 +79,7 @@ def main(argv) -> int:
     if "--out" in argv:
         out = argv[argv.index("--out") + 1]
 
-    report = {"sessions": SESSIONS, "seed": SEED, "workloads": {}}
+    metrics = []
     failures = []
     print("workload      sessions  wall [s]   events     events/s")
     for name, workload in WORKLOADS:
@@ -86,14 +89,27 @@ def main(argv) -> int:
             failures.append("%s diverged between runs" % name)
         best = min(timing, replay_timing,
                    key=lambda t: t["wall_seconds"])
-        report["workloads"][name] = best
+        # Event counts are bit-exact per seed, so any drop is a real
+        # scheduler change; wall-clock throughput is informational.
+        metrics.extend([
+            harness.Metric("%s.events" % name, best["events"],
+                           "events", direction="higher",
+                           tolerance_pct=0.0),
+            harness.Metric("%s.events_per_second" % name,
+                           best["events_per_second"], "events/s",
+                           direction="higher"),
+            harness.Metric("%s.wall_seconds" % name,
+                           best["wall_seconds"], "s",
+                           direction="lower"),
+        ])
         print("%-13s %-9d %-10.2f %-10d %.0f"
               % (name, SESSIONS, best["wall_seconds"], best["events"],
                  best["events_per_second"]))
 
-    with open(out, "w", encoding="utf-8") as handle:
-        json.dump(report, handle, indent=2, sort_keys=True)
-        handle.write("\n")
+    report = harness.BenchReport(
+        bench="kernel", seed=SEED, metrics=tuple(metrics),
+        verdicts={"replay-determinism": not failures})
+    report.write(out)
     print("wrote %s" % out)
 
     for failure in failures:

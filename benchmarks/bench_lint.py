@@ -13,8 +13,10 @@ change; this benchmark tracks it across PRs the same way
 
 Run directly (``python benchmarks/bench_lint.py``) it prints the
 table, proves sequential/parallel equality, and emits
-``BENCH_lint.json`` (files/s, wall-clock). ``--out PATH`` redirects
-the artifact.
+``BENCH_lint.json`` in the shared bench-report schema
+(``benchmarks/harness.py``): everything here is wall-clock, so every
+metric is informational and the sequential/parallel equality proof is
+the only verdict. ``--out PATH`` redirects the artifact.
 """
 
 import ast
@@ -22,6 +24,8 @@ import json
 import pathlib
 import sys
 import time
+
+import harness
 
 from repro.lint import LintEngine, render_json
 from repro.lint.callgraph import build_call_graph
@@ -76,28 +80,32 @@ def main(argv) -> int:
                  == json.dumps(render_json(par_result),
                                sort_keys=True))
 
-    report = {
-        "files": files,
-        "sequential": {
-            "wall_seconds": seq_wall,
-            "files_per_second": files / seq_wall,
-        },
-        "parallel_jobs2": {
-            "wall_seconds": par_wall,
-            "files_per_second": files / par_wall,
-        },
-        "callgraph_and_fixpoint_seconds": engine_wall,
-        "outputs_bit_identical": identical,
-    }
+    report = harness.BenchReport(
+        bench="lint", seed="-",
+        metrics=(
+            harness.Metric("files", files, "files",
+                           direction="higher"),
+            harness.Metric("sequential.wall_seconds", seq_wall, "s",
+                           direction="lower"),
+            harness.Metric("sequential.files_per_second",
+                           files / seq_wall, "files/s",
+                           direction="higher"),
+            harness.Metric("parallel_jobs2.wall_seconds", par_wall,
+                           "s", direction="lower"),
+            harness.Metric("parallel_jobs2.files_per_second",
+                           files / par_wall, "files/s",
+                           direction="higher"),
+            harness.Metric("callgraph_and_fixpoint.wall_seconds",
+                           engine_wall, "s", direction="lower"),
+        ),
+        verdicts={"sequential-parallel-bit-identical": identical})
     print("mode          files  wall [s]  files/s")
     print("sequential    %-6d %-9.2f %.0f"
           % (files, seq_wall, files / seq_wall))
     print("parallel (2)  %-6d %-9.2f %.0f"
           % (files, par_wall, files / par_wall))
     print("graph+fixpoint share: %.2fs" % engine_wall)
-    with open(out, "w", encoding="utf-8") as handle:
-        json.dump(report, handle, indent=2, sort_keys=True)
-        handle.write("\n")
+    report.write(out)
     print("wrote %s" % out)
     print("sequential/parallel equality %s"
           % ("PASSED" if identical else "FAILED"))

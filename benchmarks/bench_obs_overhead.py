@@ -16,18 +16,34 @@ no-op call. This benchmark makes that claim a gate:
 Measuring the null-path cost directly (instead of diffing two noisy
 end-to-end timings) keeps the gate stable on loaded CI hosts while
 still bounding exactly the quantity users care about: what tracing-off
-costs. Run directly (``python benchmarks/bench_obs_overhead.py``) it
-prints the per-scenario budget table and exits non-zero on a breach.
+costs.
+
+The same method gates the *profiler-enabled* path: per-call cost of
+the real :class:`~repro.obs.tracer.Tracer` methods (which allocate a
+span and advance the virtual clock) times the call count, plus the
+one-shot :class:`~repro.obs.profile.ProfileTree` fold, must stay under
+5 % of the scenario runtime — profiling a run should never distort
+what it profiles.
+
+Run directly (``python benchmarks/bench_obs_overhead.py``) it prints
+the per-scenario budget table, emits ``BENCH_obs_overhead.json`` in
+the shared bench-report schema (``benchmarks/harness.py``; call counts
+gated, wall-derived fractions informational) and exits non-zero on a
+budget breach. ``--out PATH`` redirects the artifact.
 """
 
 import copy
+import sys
 import time
 
 import pytest
 
+import harness
+
 from repro.core.trace import Algorithm, OperationRecord, Phase
 from repro.drm.rel import play_count
-from repro.obs.tracer import NULL_TRACER
+from repro.obs.profile import ProfileTree
+from repro.obs.tracer import NULL_TRACER, Tracer
 from repro.usecases.world import DRMWorld
 
 BITS = 512
@@ -36,6 +52,10 @@ CONTENT = b"\xbe" * 4096
 
 #: The gate: NullTracer instrumentation cost per scenario run.
 BUDGET_FRACTION = 0.05
+
+#: The gate with profiling *on*: real-Tracer instrumentation plus the
+#: profile fold per scenario run.
+PROFILED_BUDGET_FRACTION = 0.05
 
 #: Iterations for the per-call micro-measurement.
 MICRO_LOOPS = 200_000
@@ -136,6 +156,44 @@ def null_call_cost() -> float:
     return max(costs)
 
 
+def real_call_cost() -> float:
+    """Conservative per-call cost (seconds) of real Tracer methods.
+
+    A fresh tracer per micro-loop: the measured cost includes the span
+    allocation and list append the profiler's input actually pays.
+    """
+    record = OperationRecord(algorithm=Algorithm.SHA1,
+                             phase=Phase.REGISTRATION,
+                             invocations=1, blocks=4, label="probe")
+    costs = []
+    tracer = Tracer()
+    start = time.perf_counter()
+    for _ in range(MICRO_LOOPS):
+        tracer.on_record(record)
+    costs.append((time.perf_counter() - start) / MICRO_LOOPS)
+    tracer = Tracer()
+    start = time.perf_counter()
+    for _ in range(MICRO_LOOPS):
+        with tracer.span("probe", track="t"):
+            pass
+    costs.append((time.perf_counter() - start) / MICRO_LOOPS)
+    tracer = Tracer()
+    start = time.perf_counter()
+    for _ in range(MICRO_LOOPS):
+        tracer.event("probe", track="t")
+    costs.append((time.perf_counter() - start) / MICRO_LOOPS)
+    return max(costs)
+
+
+def fold_seconds(scenario) -> float:
+    """Wall cost of folding one real-traced run into a ProfileTree."""
+    tracer = Tracer()
+    scenario(_pristine(tracer=tracer))
+    start = time.perf_counter()
+    ProfileTree.from_tracer(tracer)
+    return time.perf_counter() - start
+
+
 def instrumentation_calls(scenario) -> int:
     """How many tracer calls one run of ``scenario`` performs."""
     tracer = CountingTracer()
@@ -168,6 +226,19 @@ def overhead_rows():
     return rows
 
 
+def profiled_rows():
+    """(name, calls, per-call s, fold s, scenario s, fraction)."""
+    per_call = real_call_cost()
+    rows = []
+    for name, scenario in SCENARIOS:
+        calls = instrumentation_calls(scenario)
+        seconds = scenario_seconds(scenario)
+        fold = fold_seconds(scenario)
+        fraction = (calls * per_call + fold) / seconds
+        rows.append((name, calls, per_call, fold, seconds, fraction))
+    return rows
+
+
 # -- pytest-benchmark entry points ------------------------------------------
 
 @pytest.fixture(scope="module")
@@ -190,8 +261,25 @@ def test_null_tracer_overhead_within_budget():
                seconds * 1e3, 100.0 * BUDGET_FRACTION))
 
 
-def main() -> int:
-    failures = 0
+def test_profiled_tracer_overhead_within_budget():
+    for name, calls, per_call, fold, seconds, fraction \
+            in profiled_rows():
+        assert fraction < PROFILED_BUDGET_FRACTION, (
+            "%s: %d tracer calls x %.1f ns + %.1f us fold = %.2f%% "
+            "of %.1f ms (budget %.0f%%)"
+            % (name, calls, per_call * 1e9, fold * 1e6,
+               100.0 * fraction, seconds * 1e3,
+               100.0 * PROFILED_BUDGET_FRACTION))
+
+
+def main(argv) -> int:
+    out = "BENCH_obs_overhead.json"
+    if "--out" in argv:
+        out = argv[argv.index("--out") + 1]
+
+    null_failures = 0
+    profiled_failures = 0
+    metrics = []
     print("%-16s %8s %12s %12s %9s" % (
         "scenario", "calls", "per-call[ns]", "runtime[ms]", "overhead"))
     for name, calls, per_call, seconds, fraction in overhead_rows():
@@ -199,12 +287,45 @@ def main() -> int:
             name, calls, per_call * 1e9, seconds * 1e3,
             100.0 * fraction))
         if fraction >= BUDGET_FRACTION:
-            failures += 1
+            null_failures += 1
+        # Call counts are deterministic (one per instrumented call
+        # site); the fractions are wall-derived, so informational.
+        metrics.extend([
+            harness.Metric("%s.instrumentation_calls" % name, calls,
+                           "calls", direction="lower",
+                           tolerance_pct=0.0),
+            harness.Metric("%s.null_overhead_fraction" % name,
+                           fraction, "ratio", direction="lower"),
+        ])
     print("NullTracer overhead budget (<%.0f%%) %s"
           % (100.0 * BUDGET_FRACTION,
-             "FAILED" if failures else "PASSED"))
-    return 1 if failures else 0
+             "FAILED" if null_failures else "PASSED"))
+
+    print("%-16s %8s %12s %10s %12s %9s" % (
+        "profiled", "calls", "per-call[ns]", "fold[us]",
+        "runtime[ms]", "overhead"))
+    for name, calls, per_call, fold, seconds, fraction \
+            in profiled_rows():
+        print("%-16s %8d %12.1f %10.1f %12.2f %8.3f%%" % (
+            name, calls, per_call * 1e9, fold * 1e6, seconds * 1e3,
+            100.0 * fraction))
+        if fraction >= PROFILED_BUDGET_FRACTION:
+            profiled_failures += 1
+        metrics.append(
+            harness.Metric("%s.profiled_overhead_fraction" % name,
+                           fraction, "ratio", direction="lower"))
+    print("profiler-on overhead budget (<%.0f%%) %s"
+          % (100.0 * PROFILED_BUDGET_FRACTION,
+             "FAILED" if profiled_failures else "PASSED"))
+
+    report = harness.BenchReport(
+        bench="obs_overhead", seed=SEED, metrics=tuple(metrics),
+        verdicts={"null-overhead-budget": not null_failures,
+                  "profiled-overhead-budget": not profiled_failures})
+    report.write(out)
+    print("wrote %s" % out)
+    return 1 if null_failures or profiled_failures else 0
 
 
 if __name__ == "__main__":
-    raise SystemExit(main())
+    raise SystemExit(main(sys.argv[1:]))

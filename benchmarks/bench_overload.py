@@ -13,13 +13,16 @@ digests (the determinism contract under timing pressure), enforces the
 overload smoke gate — goodput with mitigation must not be *worse* than
 without, and the unmitigated collapse must outlive the recovery window
 while the mitigated cell recovers inside it — and emits
-``BENCH_overload.json`` for CI trend tracking. ``--out PATH``
-redirects the artifact.
+``BENCH_overload.json`` in the shared bench-report schema
+(``benchmarks/harness.py``): event counts, goodput ratios and collapse
+durations are gated (deterministic per seed), wall-clock throughput is
+informational. ``--out PATH`` redirects the artifact.
 """
 
-import json
 import sys
 import time
+
+import harness
 
 from repro.sim.overload import StormSpec, run_storm
 
@@ -80,7 +83,7 @@ def main(argv) -> int:
     if "--out" in argv:
         out = argv[argv.index("--out") + 1]
 
-    report = {"seed": SEED, "recovery_window": WINDOW, "storms": {}}
+    metrics = []
     failures = []
     results = {}
     print("storm         wall [s]   events     events/s   goodput  "
@@ -92,8 +95,29 @@ def main(argv) -> int:
             failures.append("%s diverged between runs" % name)
         best = min(timing, replay_timing,
                    key=lambda t: t["wall_seconds"])
-        report["storms"][name] = best
         results[name] = result
+        # Everything on the virtual timebase is bit-exact per seed:
+        # gate it with a zero band. Wall-clock stays informational.
+        metrics.extend([
+            harness.Metric("%s.events" % name, best["events"],
+                           "events", direction="higher",
+                           tolerance_pct=0.0),
+            harness.Metric("%s.goodput_ratio" % name,
+                           result.goodput_ratio, "ratio",
+                           direction="higher", tolerance_pct=0.0),
+            harness.Metric("%s.collapse_service_units" % name,
+                           result.collapse_duration, "service units",
+                           direction="lower", tolerance_pct=0.0),
+            harness.Metric("%s.wasted_share" % name,
+                           result.wasted_share, "ratio",
+                           direction="lower", tolerance_pct=0.0),
+            harness.Metric("%s.events_per_second" % name,
+                           best["events_per_second"], "events/s",
+                           direction="higher"),
+            harness.Metric("%s.wall_seconds" % name,
+                           best["wall_seconds"], "s",
+                           direction="lower"),
+        ])
         print("%-13s %-10.2f %-10d %-10.0f %-8.2f %-9d %s"
               % (name, best["wall_seconds"], best["events"],
                  best["events_per_second"], result.goodput_ratio,
@@ -101,18 +125,29 @@ def main(argv) -> int:
                  "never" if result.recovery_time is None
                  else result.recovery_time))
 
-    if results["mitigated"].goodput_ratio \
-            < results["unmitigated"].goodput_ratio:
+    verdicts = {
+        "replay-determinism": not any(
+            "diverged" in failure for failure in failures),
+        "mitigated-goodput-not-worse":
+            results["mitigated"].goodput_ratio
+            >= results["unmitigated"].goodput_ratio,
+        "unmitigated-metastable":
+            results["unmitigated"].collapse_duration >= WINDOW,
+        "mitigated-recovers-in-window":
+            results["mitigated"].recovered_within(WINDOW),
+    }
+    if not verdicts["mitigated-goodput-not-worse"]:
         failures.append("mitigated goodput below unmitigated")
-    if results["unmitigated"].collapse_duration < WINDOW:
+    if not verdicts["unmitigated-metastable"]:
         failures.append("unmitigated storm was not metastable")
-    if not results["mitigated"].recovered_within(WINDOW):
+    if not verdicts["mitigated-recovers-in-window"]:
         failures.append("mitigated storm failed to recover in the "
                         "window")
 
-    with open(out, "w", encoding="utf-8") as handle:
-        json.dump(report, handle, indent=2, sort_keys=True)
-        handle.write("\n")
+    report = harness.BenchReport(bench="overload", seed=SEED,
+                                 metrics=tuple(metrics),
+                                 verdicts=verdicts)
+    report.write(out)
     print("wrote %s" % out)
 
     for failure in failures:

@@ -1,0 +1,129 @@
+"""Shared benchmark artifact schema: ``BENCH_<name>.json``.
+
+Every bench script under ``benchmarks/`` historically wrote its own
+ad-hoc JSON shape, so nothing downstream could read them uniformly.
+This module is the one schema they all emit now (``schema: 1``,
+``kind: "bench-report"``):
+
+* a :class:`Metric` is one measured number with a ``direction``
+  ("higher" or "lower" is better) and an optional ``tolerance_pct``.
+  Metrics with a tolerance are *gated* — the trajectory aggregator
+  (:mod:`repro.perf.trajectory`) fails the build when they drift
+  outside the band relative to their reference. Metrics without one
+  (wall-clock timings, events/s) are informational: tracked across
+  PRs, never load-bearing, because CI hosts are noisy.
+* a :class:`BenchReport` is one script's run: its pinned seed, the git
+  revision, its metrics, and its ``verdicts`` — the script's own
+  pass/fail gates (replay determinism, smoke contracts), all of which
+  must be true.
+
+Deterministic metrics (event counts, goodput ratios, collapse
+durations — anything derived from the virtual timebase) should be
+gated with ``tolerance_pct=0.0``: they are bit-exact per seed, so any
+drift is a real behavior change, not noise.
+
+The module lives in ``benchmarks/`` (not the package) because the
+bench scripts are standalone: ``python benchmarks/bench_kernel.py``
+puts this directory on ``sys.path``, and pytest's rootdir insertion
+does the same for the collected ``bench_*`` tests.
+"""
+
+import json
+import pathlib
+import subprocess
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+#: Artifact schema version; bump on incompatible shape changes.
+SCHEMA = 1
+
+#: The ``kind`` discriminator the trajectory loader checks.
+KIND = "bench-report"
+
+DIRECTIONS = ("higher", "lower")
+
+
+def git_rev() -> str:
+    """The short revision the bench ran at; ``unknown`` off-repo."""
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            cwd=str(pathlib.Path(__file__).resolve().parent),
+            capture_output=True, text=True, timeout=10, check=False)
+    except OSError:
+        return "unknown"
+    rev = out.stdout.strip()
+    return rev if out.returncode == 0 and rev else "unknown"
+
+
+@dataclass(frozen=True)
+class Metric:
+    """One measured number with its regression-gating policy."""
+
+    name: str
+    value: float
+    unit: str
+    #: Which way is good: "higher" (throughput) or "lower" (latency).
+    direction: str = "higher"
+    #: Regression band in percent of the reference value; ``None``
+    #: means informational (tracked, never gated). ``0.0`` means the
+    #: value must match its reference exactly — the right setting for
+    #: anything deterministic per seed.
+    tolerance_pct: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.direction not in DIRECTIONS:
+            raise ValueError("direction must be one of %r, got %r"
+                             % (DIRECTIONS, self.direction))
+        if self.tolerance_pct is not None and self.tolerance_pct < 0:
+            raise ValueError("tolerance_pct must be >= 0")
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "name": self.name,
+            "value": self.value,
+            "unit": self.unit,
+            "direction": self.direction,
+            "tolerance_pct": self.tolerance_pct,
+        }
+
+
+@dataclass
+class BenchReport:
+    """One bench script's run: metrics plus its own gate verdicts."""
+
+    bench: str
+    seed: str
+    metrics: Tuple[Metric, ...] = ()
+    #: The script's own pass/fail gates (replay determinism, smoke
+    #: contracts). Every verdict must be true for the report to pass.
+    verdicts: Dict[str, bool] = field(default_factory=dict)
+    rev: str = field(default_factory=git_rev)
+
+    @property
+    def passed(self) -> bool:
+        """Whether every in-script gate held."""
+        return all(self.verdicts.values())
+
+    def metric(self, name: str) -> Metric:
+        for entry in self.metrics:
+            if entry.name == name:
+                return entry
+        raise KeyError(name)
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "schema": SCHEMA,
+            "kind": KIND,
+            "bench": self.bench,
+            "seed": self.seed,
+            "git_rev": self.rev,
+            "metrics": [metric.to_dict() for metric in self.metrics],
+            "verdicts": dict(sorted(self.verdicts.items())),
+        }
+
+    def write(self, path: str) -> None:
+        """Write the artifact deterministically (sorted, newline)."""
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(self.to_dict(), handle, indent=2, sort_keys=True)
+            handle.write("\n")

@@ -152,6 +152,45 @@ class OverloadSweep:
                 "no mitigation recovered to ≥90%% of pre-spike "
                 "goodput within %d service units" % window)
 
+    def assert_slo_contract(self) -> None:
+        """Raise unless burn-rate alerting tells the same story.
+
+        The SLO monitor watches the storm from the operator's side;
+        its alerts must agree with the goodput bins: (1) the
+        unmitigated baseline opens an ``answered-in-patience`` alert
+        at/after the spike start and the alert is *still open* at the
+        horizon — alert-shaped metastability; (2) the all-mitigations
+        reference cell's alert closes before the horizon — the escape,
+        as the on-call engineer would see it.
+        """
+        baseline = self.baseline
+        spec = baseline.spec
+        report = baseline.slo.objective("answered-in-patience")
+        if not report.alerts:
+            raise AssertionError("the unmitigated baseline fired no "
+                                 "burn-rate alert")
+        first = report.alerts[0]
+        if first.opened < spec.spike_start * baseline.slot_ticks:
+            raise AssertionError(
+                "baseline alert opened at tick %d, before the spike "
+                "start" % first.opened)
+        if report.alerts[-1].closed is not None:
+            raise AssertionError(
+                "baseline alert closed at tick %d — the collapse "
+                "should outlive the horizon"
+                % report.alerts[-1].closed)
+        mitigated_label = _combo_spec(self.seed, self.architecture,
+                                      MITIGATED_COMBO).label
+        mitigated = self.grid[mitigated_label]
+        report = mitigated.slo.objective("answered-in-patience")
+        if not report.alerts:
+            raise AssertionError("the mitigated reference cell fired "
+                                 "no burn-rate alert during the spike")
+        if report.alerts[0].closed is None:
+            raise AssertionError(
+                "the mitigated reference cell's alert never closed — "
+                "burn-rate recovery should match goodput recovery")
+
 
 def sweep(seed: str = DEFAULT_SEED, architecture: str = "SW",
           combos: Tuple[Tuple[str, str, bool], ...] = DEFAULT_COMBOS,
@@ -262,6 +301,32 @@ class OverloadAnalysis:
             architecture_rows,
             title="Architecture cross-check: same story in service "
                   "units, pure Table 1 scaling in ticks"))
+
+        slo_rows = []
+        for label, result in self.sweep.grid.items():
+            report = result.slo.objective("answered-in-patience")
+            if report.alerts:
+                first = report.alerts[0]
+                opened = "%d" % (first.opened // result.slot_ticks)
+                closed = ("open at horizon" if report.alerts[-1].closed
+                          is None else "%d" % (report.alerts[-1].closed
+                                               // result.slot_ticks))
+            else:
+                opened, closed = "-", "-"
+            exemplar = (report.exemplars[0].label
+                        if report.exemplars else "-")
+            slo_rows.append((label, "%d" % len(report.alerts), opened,
+                             closed, "%.3f" % report.compliance,
+                             exemplar))
+        tables.append(format_table(
+            ("admission/retry", "alerts", "opened [S]", "closed [S]",
+             "compliance", "first exemplar"),
+            slo_rows,
+            title="SLO burn-rate alerts (answered-in-patience, "
+                  "fast/slow windows %d/%d service units): the "
+                  "baseline's alert never closes — metastability as "
+                  "the on-call engineer sees it"
+                  % (spec.bin_size, 4 * spec.bin_size)))
         return "\n\n".join(tables)
 
 
@@ -273,4 +338,5 @@ def generate(seed: str = DEFAULT_SEED, architecture: str = "SW",
                     jobs=jobs))
     analysis.sweep.assert_conservation()
     analysis.sweep.assert_metastable_contract()
+    analysis.sweep.assert_slo_contract()
     return analysis

@@ -64,6 +64,18 @@ class SaturationPoint:
         """A sojourn-latency summary statistic in milliseconds."""
         return self.result.load.latency_ms(which)
 
+    @property
+    def slo_breached(self) -> Tuple[str, ...]:
+        """Objectives whose lifetime compliance missed target here."""
+        slo = self.result.load.slo
+        return slo.breached if slo is not None else ()
+
+    @property
+    def slo_alerts(self) -> int:
+        """Burn-rate alerts fired at this measurement point."""
+        slo = self.result.load.slo
+        return slo.alert_count if slo is not None else 0
+
 
 @dataclass
 class SaturationSweep:
@@ -92,6 +104,43 @@ class SaturationSweep:
                     raise AssertionError(
                         "utilization not monotone for %s: %r"
                         % (architecture, utilizations))
+
+    def assert_slo_contract(self) -> None:
+        """Raise unless the ladder's SLO story holds.
+
+        Two halves, both deterministic at a pinned seed:
+
+        * the software-RSA architectures (SW, SW/HW) meet every default
+          objective at the bottom of the ladder — an unloaded RI that
+          breaches its own SLOs is misconfigured;
+        * the HW architecture *breaches* at least one latency objective
+          (with a burn-rate alert to show for it) at the top of the
+          ladder: its service times are so short that the 50 ms OCSP
+          refresh round-trip dominates sojourn latency — the paper's
+          "crypto stops being the bottleneck" story, now stated as an
+          operator-visible SLO breach.
+        """
+        for architecture in ("SW", "SW/HW"):
+            curve = self.points.get(architecture)
+            if not curve:
+                continue
+            bottom = curve[0]
+            if bottom.slo_breached:
+                raise AssertionError(
+                    "%s breached %r at the bottom of the ladder"
+                    % (architecture, bottom.slo_breached))
+        curve = self.points.get("HW")
+        if curve:
+            top = curve[-1]
+            if not top.slo_breached:
+                raise AssertionError(
+                    "expected the HW ladder top to breach a latency "
+                    "objective (OCSP round-trip floor), but all "
+                    "objectives held")
+            if not top.slo_alerts:
+                raise AssertionError(
+                    "HW breached %r at the ladder top but no "
+                    "burn-rate alert fired" % (top.slo_breached,))
 
 
 def sweep(seed: str = DEFAULT_SEED,
@@ -145,10 +194,13 @@ class SaturationAnalysis:
                     "%.2f" % point.latency_ms("p95"),
                     "%d" % load.served,
                     "%d" % load.refused,
+                    ",".join(point.slo_breached) or "-",
+                    "%d" % point.slo_alerts,
                 ))
             tables.append(format_table(
                 ("offered", "req/s", "utilization", "mean queue",
-                 "p50 [ms]", "p95 [ms]", "served", "refused"),
+                 "p50 [ms]", "p95 [ms]", "served", "refused",
+                 "slo breached", "alerts"),
                 rows,
                 title="%s RI: nominal capacity %.2f req/s "
                       "(%d signing unit%s)"
@@ -169,4 +221,5 @@ def generate(seed: str = DEFAULT_SEED,
         sweep=sweep(seed + "/saturation", requests=requests, rhos=rhos,
                     capacity=capacity))
     analysis.sweep.assert_monotone_utilization()
+    analysis.sweep.assert_slo_contract()
     return analysis

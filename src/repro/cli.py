@@ -23,6 +23,11 @@ Commands:
   propagation) under a load spike.
 * ``trace`` — run a named scenario with the cycle-timebase tracer and
   export Chrome trace-event JSON plus a metrics registry.
+* ``profile`` — fold a traced scenario into an exact virtual-cycle
+  call tree (reconciled against the cost model), export
+  collapsed-stack / speedscope profiles, and diff two profiles.
+* ``perfdiff`` — validate or merge ``BENCH_*.json`` artifacts into the
+  performance trajectory and fail on tolerance-band regressions.
 * ``report`` — write the full paper-vs-measured Markdown report.
 * ``selftest`` — run the cryptographic known-answer self-tests.
 * ``lint`` — run the AST-based invariant analyzer (``repro.lint``).
@@ -56,10 +61,14 @@ from .core.model import PerformanceModel
 from .core.serialization import (breakdown_to_dict, dump_breakdown,
                                  dump_trace)
 from .obs.export import write_chrome, write_metrics
+from .obs.profile import ProfileTree
+from .obs.profile import diff as profile_diff
 from .obs.tracer import Tracer
+from .perf import trajectory as perf_trajectory
 from .usecases.catalog import music_player, ringtone
 from .usecases.scenario import UseCase
-from .usecases.tracing import SCENARIOS, run_scenario
+from .usecases.tracing import (PROFILE_SCENARIOS, SCENARIOS,
+                               run_profile_scenario, run_scenario)
 from .usecases.workload import run_modeled
 
 _ARTIFACTS = {
@@ -429,6 +438,111 @@ def _build_trace(args: argparse.Namespace) -> CommandOutput:
     return "\n".join(lines), payload
 
 
+def _profile_tree(arch: str, scenario: str, seed: str,
+                  rsa_bits: int) -> Tuple[ProfileTree, Any]:
+    """Trace one profiling scenario and fold it, with its breakdown.
+
+    The returned tree reconciles bit-exactly against the cost model:
+    the root's cumulative cycles equal the
+    :class:`~repro.core.model.CostBreakdown` total of the same trace
+    under the same architecture. A mismatch is a bug in the tracer or
+    profiler, so it raises instead of printing a wrong profile.
+    """
+    profile = _PROFILES[arch]
+    tracer = Tracer(profile=profile, actor="terminal")
+    trace = run_profile_scenario(scenario, tracer, seed=seed,
+                                 rsa_bits=rsa_bits)
+    breakdown = PerformanceModel().evaluate(trace, profile)
+    tree = ProfileTree.from_tracer(tracer, architecture=arch,
+                                   scenario=scenario, seed=seed)
+    if tree.total_cycles != breakdown.total_cycles:
+        raise AssertionError(
+            "profile tree does not reconcile with the cost model: "
+            "tree %d cycles != breakdown %d cycles"
+            % (tree.total_cycles, breakdown.total_cycles))
+    return tree, breakdown
+
+
+def _build_profile(args: argparse.Namespace) -> CommandOutput:
+    tree, breakdown = _profile_tree(args.arch, args.scenario,
+                                    args.seed, args.rsa_bits)
+    profile = _PROFILES[args.arch]
+    lines = [
+        "%s scenario (seed %r, arch %s): %d cycles (%.1f ms), "
+        "reconciled exactly against the cost model"
+        % (args.scenario, args.seed, args.arch, tree.total_cycles,
+           profile.cycles_to_ms(tree.total_cycles)),
+        "",
+        tree.render(max_depth=args.max_depth),
+    ]
+    if args.collapsed:
+        tree.write_collapsed(args.collapsed)
+        lines.append("collapsed-stack profile written to %s"
+                     % args.collapsed)
+    if args.speedscope:
+        tree.write_speedscope(args.speedscope)
+        lines.append("speedscope profile written to %s"
+                     % args.speedscope)
+    payload: Dict[str, Any] = {
+        "scenario": args.scenario, "arch": args.arch,
+        "seed": args.seed, "rsa_bits": args.rsa_bits,
+        "total_cycles": tree.total_cycles,
+        "breakdown_total_cycles": breakdown.total_cycles,
+        "tree": tree.root.to_dict(),
+    }
+    if args.diff_arch or args.diff_scenario:
+        after_arch = args.diff_arch or args.arch
+        after_scenario = args.diff_scenario or args.scenario
+        after, _ = _profile_tree(after_arch, after_scenario,
+                                 args.seed, args.rsa_bits)
+        delta = profile_diff(tree, after)
+        lines.extend([
+            "",
+            "diff: %s/%s -> %s/%s"
+            % (args.arch, args.scenario, after_arch, after_scenario),
+            delta.render(top=args.top),
+        ])
+        payload["diff"] = {
+            "after_arch": after_arch,
+            "after_scenario": after_scenario,
+            "total_delta": delta.total_delta,
+            "deltas": [{"path": list(d.path),
+                        "before_cycles": d.before_cycles,
+                        "after_cycles": d.after_cycles,
+                        "delta": d.delta}
+                       for d in delta.deltas[:args.top]],
+        }
+    return "\n".join(lines), payload
+
+
+def _command_perfdiff(args: argparse.Namespace) -> int:
+    try:
+        if args.merge:
+            reports = [perf_trajectory.load_report(path)
+                       for path in args.merge]
+            previous = (perf_trajectory.load_trajectory(args.previous)
+                        if args.previous else None)
+            trajectory = perf_trajectory.merge(reports,
+                                               previous=previous)
+            if args.out:
+                trajectory.write(args.out)
+                print("trajectory written to %s" % args.out)
+        else:
+            if not args.trajectory:
+                print("error: pass a trajectory file or --merge",
+                      file=sys.stderr)
+                return 2
+            trajectory = perf_trajectory.load_trajectory(
+                args.trajectory)
+    except (OSError, ValueError) as error:
+        print("error: %s" % error, file=sys.stderr)
+        return 2
+    ok, text = perf_trajectory.validate(trajectory)
+    print(text)
+    print("perf trajectory gate %s" % ("PASSED" if ok else "FAILED"))
+    return 0 if ok else 1
+
+
 def _command_report(args: argparse.Namespace) -> int:
     document = report.generate(seed=args.seed)
     document.write(args.output)
@@ -651,6 +765,56 @@ def build_parser() -> argparse.ArgumentParser:
     sub.add_argument("--metrics", metavar="PATH", default=None,
                      help="metrics registry JSON path (default "
                           "repro-<scenario>.metrics.json)")
+
+    sub = analysis_parser("profile",
+                          "fold a traced scenario into an exact "
+                          "virtual-cycle call tree and export/diff it",
+                          _build_profile)
+    sub.add_argument("--scenario", choices=PROFILE_SCENARIOS,
+                     default="registration",
+                     help="profiling scenario (protocol-stack names "
+                          "plus the modeled paper-scale 'music' and "
+                          "'ringtone')")
+    sub.add_argument("--seed", default=DEFAULT_SEED)
+    sub.add_argument("--arch", choices=tuple(_PROFILES), default="SW",
+                     help="architecture profile pricing the timeline")
+    sub.add_argument("--rsa-bits", type=int, default=1024,
+                     help="modulus size for protocol-stack scenarios")
+    sub.add_argument("--max-depth", type=int, default=None,
+                     help="truncate the rendered tree at this depth")
+    sub.add_argument("--collapsed", metavar="PATH", default=None,
+                     help="write a collapsed-stack (flamegraph) "
+                          "profile")
+    sub.add_argument("--speedscope", metavar="PATH", default=None,
+                     help="write a speedscope JSON profile")
+    sub.add_argument("--diff-arch", choices=tuple(_PROFILES),
+                     default=None,
+                     help="diff against the same scenario under "
+                          "another architecture")
+    sub.add_argument("--diff-scenario", choices=PROFILE_SCENARIOS,
+                     default=None,
+                     help="diff against another scenario (same "
+                          "architecture unless --diff-arch)")
+    sub.add_argument("--top", type=int, default=10,
+                     help="paths shown in the diff table")
+
+    sub = subparsers.add_parser("perfdiff",
+                                help="validate/merge BENCH_*.json "
+                                     "performance artifacts and fail "
+                                     "on regressions")
+    sub.add_argument("trajectory", nargs="?", default=None,
+                     help="a BENCH_trajectory.json to validate "
+                          "self-contained")
+    sub.add_argument("--merge", metavar="BENCH.json", nargs="+",
+                     default=None,
+                     help="merge these bench-report artifacts into a "
+                          "trajectory instead of validating one")
+    sub.add_argument("--previous", metavar="PATH", default=None,
+                     help="prior trajectory supplying reference "
+                          "values for --merge")
+    sub.add_argument("--out", metavar="PATH", default=None,
+                     help="write the merged trajectory here")
+    sub.set_defaults(handler=_command_perfdiff)
 
     sub = subparsers.add_parser("selftest",
                                 help="run the crypto known-answer "

@@ -27,6 +27,7 @@ accumulator raises on non-integer values rather than silently degrading).
 
 from collections import Counter
 from dataclasses import dataclass, field
+from fractions import Fraction
 from typing import Dict, Iterable, Optional, Tuple
 
 #: The percentile levels fleet reports quote.
@@ -132,7 +133,15 @@ class StreamingStats:
         count = self.count
         if not count:
             return None
-        rank = -(-int(p * count) // 100)  # ceil(p * count / 100)
+        # Exact ceil(p * count / 100) in rational arithmetic. Two float
+        # traps lurk in the obvious spellings: ``int(p * count)``
+        # truncates the fractional part *before* the ceiling (p=50.25,
+        # N=2 -> rank 1 instead of 2), and ``p * count / 100`` can land
+        # an epsilon above an integer (p=64.1, N=1000 -> ceil 642
+        # instead of 641). ``Fraction(repr(p))`` recovers the decimal
+        # the caller wrote, making the rank exact for both.
+        exact = Fraction(repr(float(p))) * count / 100
+        rank = -((-exact.numerator) // exact.denominator)
         rank = max(rank, 1)
         cumulative = 0
         for value in sorted(self.counts):

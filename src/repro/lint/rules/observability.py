@@ -11,6 +11,7 @@ events; only the CLI and the lint tool's own reporters talk to stdout,
 and they are exempted via ``[tool.repro-lint.scopes]``.
 """
 
+import ast
 from typing import Iterator, Tuple
 
 from .base import RawFinding, Rule
@@ -67,4 +68,60 @@ class NoLoggingRule(Rule):
                             "repro.obs events" % imported.module)
 
 
-RULES = (NoPrintRule, NoLoggingRule)
+class SpanContextManagedRule(Rule):
+    """REP603: ``Tracer.span()`` must be a ``with`` item.
+
+    The tracer maintains an *open-span stack* so the profiler
+    (:mod:`repro.obs.profile`) can fold spans into an exact call tree
+    by parent links. The stack is balanced only when every
+    ``span()`` call is entered and exited through its context manager:
+    a span opened without ``with`` is never pushed/popped, so parent
+    attribution silently corrupts — and the span never closes, so its
+    duration stays zero. The rule flags any ``*.span(...)`` call on a
+    tracer-ish receiver that is not directly a ``with`` item.
+    """
+
+    id = "REP603"
+    title = ("Tracer.span() outside a with statement; the open-span "
+             "stack (profiler parent links) requires context-managed "
+             "spans")
+
+    default_scopes = _LIBRARY_SCOPES + ("repro.sim",)
+
+    @staticmethod
+    def _receiver_is_tracerish(node: ast.Call) -> bool:
+        """Whether the call's receiver chain names a tracer."""
+        cursor = node.func
+        if not isinstance(cursor, ast.Attribute):
+            return False
+        cursor = cursor.value
+        while isinstance(cursor, ast.Attribute):
+            if "tracer" in cursor.attr.lower():
+                return True
+            cursor = cursor.value
+        return (isinstance(cursor, ast.Name)
+                and "tracer" in cursor.id.lower())
+
+    def check(self, ctx, project) -> Iterator[RawFinding]:
+        managed = set()
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, (ast.With, ast.AsyncWith)):
+                for item in node.items:
+                    managed.add(id(item.context_expr))
+        for node in ctx.calls():
+            func = node.func
+            if not (isinstance(func, ast.Attribute)
+                    and func.attr == "span"):
+                continue
+            if not self._receiver_is_tracerish(node):
+                continue
+            if id(node) in managed:
+                continue
+            yield self.finding(
+                node, "span() not context-managed; the open span "
+                      "never pops from the tracer's stack, so "
+                      "profiler parent links corrupt and the span "
+                      "never closes")
+
+
+RULES = (NoPrintRule, NoLoggingRule, SpanContextManagedRule)

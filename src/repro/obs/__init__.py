@@ -21,6 +21,10 @@ from .tracer import (Event, NULL_TRACER, NullTracer, OPERATION_CATEGORY,
                      Span, Tracer)
 from .export import (load_chrome, to_chrome, to_jsonl, trace_from_chrome,
                      write_chrome, write_jsonl, write_metrics)
+from .profile import (ProfileDiff, ProfileNode, ProfileTree, diff,
+                      paths_from_collapsed, paths_from_speedscope)
+from .slo import (Alert, DEFAULT_OBJECTIVES, Exemplar, Objective,
+                  ObjectiveReport, SLOMonitor, SLOReport)
 
 __all__ = [
     "MetricsRegistry", "merge_registries",
@@ -28,4 +32,8 @@ __all__ = [
     "Span", "Tracer",
     "load_chrome", "to_chrome", "to_jsonl", "trace_from_chrome",
     "write_chrome", "write_jsonl", "write_metrics",
+    "ProfileDiff", "ProfileNode", "ProfileTree", "diff",
+    "paths_from_collapsed", "paths_from_speedscope",
+    "Alert", "DEFAULT_OBJECTIVES", "Exemplar", "Objective",
+    "ObjectiveReport", "SLOMonitor", "SLOReport",
 ]

@@ -1,0 +1,339 @@
+"""Service-level objectives and burn-rate alerts on virtual time.
+
+A production Rights Issuer is operated against *objectives* — "99 % of
+acquisitions answered within N service units" — not raw latency
+histograms. This module evaluates exactly that, but on the simulation's
+virtual timebase: every observation is an integer kernel tick, every
+threshold an exact tick bound, so the same seed produces the same
+compliance ratios, the same alert timestamps, and the same exemplars,
+byte for byte.
+
+The alerting discipline is the multi-window, multi-burn-rate policy of
+Google's SRE workbook: an alert opens when the error budget is burning
+at ≥ ``burn_threshold`` over *both* a fast window (catches sudden
+storms quickly) and a slow window (suppresses blips), and closes when
+the fast window recovers. Windows slide on virtual ticks; thresholds
+and window lengths are declared in *service units* (multiples of the
+server's mix-weighted nominal service time) so one objective
+configuration is meaningful on every architecture profile.
+
+Observations carry a label (``kind@arrival_tick`` when fed from
+:class:`~repro.sim.ri.RIServer`), and each objective captures the first
+few breaching observations as :class:`Exemplar` records — the exact
+seeded requests to replay when debugging a breach.
+"""
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Tuple
+
+#: Cap on breaching exemplars retained per objective.
+DEFAULT_MAX_EXEMPLARS = 5
+
+#: Observations a window must hold before burn rates are meaningful;
+#: below this an alert cannot open (avoids firing on the first error).
+MIN_WINDOW_EVENTS = 10
+
+
+@dataclass(frozen=True)
+class Objective:
+    """One declarative latency/goodput objective.
+
+    ``threshold_units`` bounds the sojourn latency of a *good* request
+    in service units; ``None`` declares a pure goodput objective (any
+    completed request is good, anything refused/shed/timed-out is bad).
+    ``target`` is the long-run good fraction promised; ``1 - target``
+    is the error budget the burn rates are measured against.
+    """
+
+    name: str
+    kind: str = "*"
+    threshold_units: Optional[float] = None
+    target: float = 0.99
+    fast_window_units: int = 60
+    slow_window_units: int = 240
+    burn_threshold: float = 2.0
+    max_exemplars: int = DEFAULT_MAX_EXEMPLARS
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.target < 1.0:
+            raise ValueError("target must be in (0, 1)")
+        if self.fast_window_units <= 0 or self.slow_window_units <= 0:
+            raise ValueError("window lengths must be positive")
+        if self.fast_window_units > self.slow_window_units:
+            raise ValueError("the fast window must not exceed the slow "
+                             "window")
+        if self.burn_threshold <= 0:
+            raise ValueError("burn threshold must be positive")
+
+    def matches(self, kind: str) -> bool:
+        """Whether this objective scores requests of ``kind``."""
+        return self.kind == "*" or self.kind == kind
+
+
+@dataclass(frozen=True)
+class Exemplar:
+    """One captured breaching request."""
+
+    objective: str
+    tick: int
+    kind: str
+    latency_ticks: int
+    label: str
+
+
+@dataclass(frozen=True)
+class Alert:
+    """One burn-rate alert interval (closed tick ``None`` = still open)."""
+
+    objective: str
+    opened: int
+    closed: Optional[int]
+    fast_burn: float
+    slow_burn: float
+
+
+#: Default objective set for a Rights Issuer: per-kind latency bounds
+#: sized from the M/M/1 sojourn tail (p99 sojourn at utilization rho is
+#: about ``-ln(0.01)/(1-rho)`` service times, so 24 units separates a
+#: healthy ladder step from a saturated one), plus a global goodput
+#: objective that scores refusals/sheds/timeouts regardless of latency.
+DEFAULT_OBJECTIVES: Tuple[Objective, ...] = (
+    Objective(name="hello-latency", kind="hello",
+              threshold_units=24.0, target=0.95),
+    Objective(name="registration-latency", kind="registration",
+              threshold_units=24.0, target=0.95),
+    Objective(name="acquisition-latency", kind="acquisition",
+              threshold_units=24.0, target=0.95),
+    Objective(name="goodput", kind="*", threshold_units=None,
+              target=0.99),
+)
+
+
+class _WindowCounts:
+    """Sliding (total, bad) counts over the trailing ``width`` ticks."""
+
+    __slots__ = ("width", "events", "total", "bad")
+
+    def __init__(self, width: int) -> None:
+        self.width = width
+        self.events: deque = deque()
+        self.total = 0
+        self.bad = 0
+
+    def push(self, tick: int, good: bool) -> None:
+        self.events.append((tick, good))
+        self.total += 1
+        if not good:
+            self.bad += 1
+        horizon = tick - self.width
+        while self.events and self.events[0][0] <= horizon:
+            _old, was_good = self.events.popleft()
+            self.total -= 1
+            if not was_good:
+                self.bad -= 1
+
+    def burn_rate(self, budget: float) -> float:
+        """Error-budget burn multiple over the current window."""
+        if not self.total:
+            return 0.0
+        return (self.bad / self.total) / budget
+
+
+class _ObjectiveState:
+    """Mutable evaluation state for one bound objective."""
+
+    def __init__(self, objective: Objective, slot_ticks: int) -> None:
+        self.objective = objective
+        self.threshold_ticks = (
+            None if objective.threshold_units is None
+            else int(round(objective.threshold_units * slot_ticks)))
+        self.fast = _WindowCounts(objective.fast_window_units
+                                  * slot_ticks)
+        self.slow = _WindowCounts(objective.slow_window_units
+                                  * slot_ticks)
+        self.total = 0
+        self.bad = 0
+        self.alerts: List[Alert] = []
+        self.exemplars: List[Exemplar] = []
+        self._open: Optional[Alert] = None
+
+    def observe(self, kind: str, now: int, completed: bool,
+                latency_ticks: int, label: str) -> None:
+        good = completed and (self.threshold_ticks is None
+                              or latency_ticks <= self.threshold_ticks)
+        self.total += 1
+        if not good:
+            self.bad += 1
+            if len(self.exemplars) < self.objective.max_exemplars:
+                self.exemplars.append(Exemplar(
+                    objective=self.objective.name, tick=now, kind=kind,
+                    latency_ticks=latency_ticks, label=label))
+        self.fast.push(now, good)
+        self.slow.push(now, good)
+        budget = 1.0 - self.objective.target
+        fast_burn = self.fast.burn_rate(budget)
+        slow_burn = self.slow.burn_rate(budget)
+        threshold = self.objective.burn_threshold
+        if self._open is None:
+            if (fast_burn >= threshold and slow_burn >= threshold
+                    and self.fast.total >= MIN_WINDOW_EVENTS
+                    and self.slow.total >= MIN_WINDOW_EVENTS):
+                self._open = Alert(objective=self.objective.name,
+                                   opened=now, closed=None,
+                                   fast_burn=fast_burn,
+                                   slow_burn=slow_burn)
+                self.alerts.append(self._open)
+        elif fast_burn < threshold:
+            closed = Alert(objective=self._open.objective,
+                           opened=self._open.opened, closed=now,
+                           fast_burn=self._open.fast_burn,
+                           slow_burn=self._open.slow_burn)
+            self.alerts[-1] = closed
+            self._open = None
+
+    @property
+    def compliance(self) -> float:
+        """Lifetime good fraction (1.0 when nothing was observed)."""
+        if not self.total:
+            return 1.0
+        return (self.total - self.bad) / self.total
+
+    @property
+    def breached(self) -> bool:
+        """Whether lifetime compliance fell below the target."""
+        return self.compliance < self.objective.target
+
+
+@dataclass(frozen=True)
+class ObjectiveReport:
+    """Frozen summary of one objective after a run."""
+
+    name: str
+    kind: str
+    target: float
+    total: int
+    bad: int
+    compliance: float
+    breached: bool
+    alerts: Tuple[Alert, ...]
+    exemplars: Tuple[Exemplar, ...]
+
+    @property
+    def first_alert_tick(self) -> Optional[int]:
+        """Tick of the first alert, ``None`` if none fired."""
+        return self.alerts[0].opened if self.alerts else None
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "name": self.name, "kind": self.kind, "target": self.target,
+            "total": self.total, "bad": self.bad,
+            "compliance": self.compliance, "breached": self.breached,
+            "alerts": [{"opened": alert.opened, "closed": alert.closed,
+                        "fast_burn": alert.fast_burn,
+                        "slow_burn": alert.slow_burn}
+                       for alert in self.alerts],
+            "exemplars": [{"tick": ex.tick, "kind": ex.kind,
+                           "latency_ticks": ex.latency_ticks,
+                           "label": ex.label}
+                          for ex in self.exemplars],
+        }
+
+
+@dataclass(frozen=True)
+class SLOReport:
+    """All objective reports of one monitor, in declaration order."""
+
+    slot_ticks: int
+    objectives: Tuple[ObjectiveReport, ...]
+
+    def objective(self, name: str) -> ObjectiveReport:
+        """Look one report up by objective name."""
+        for report in self.objectives:
+            if report.name == name:
+                return report
+        raise KeyError(name)
+
+    @property
+    def alert_count(self) -> int:
+        """Total alerts across all objectives."""
+        return sum(len(report.alerts) for report in self.objectives)
+
+    @property
+    def breached(self) -> Tuple[str, ...]:
+        """Names of objectives whose lifetime compliance missed target."""
+        return tuple(report.name for report in self.objectives
+                     if report.breached)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"slot_ticks": self.slot_ticks,
+                "objectives": [report.to_dict()
+                               for report in self.objectives]}
+
+    def render(self) -> str:
+        """Text table: one row per objective."""
+        lines = ["%-22s %-8s %-7s %-11s %-7s %-12s exemplar"
+                 % ("objective", "events", "bad", "compliance",
+                    "alerts", "first-alert")]
+        for report in self.objectives:
+            exemplar = (report.exemplars[0].label
+                        if report.exemplars else "-")
+            first = ("%d" % report.first_alert_tick
+                     if report.first_alert_tick is not None else "-")
+            lines.append("%-22s %-8d %-7d %-11s %-7d %-12s %s"
+                         % (report.name, report.total, report.bad,
+                            "%.4f/%.2f" % (report.compliance,
+                                           report.target),
+                            len(report.alerts), first, exemplar))
+        return "\n".join(lines)
+
+
+class SLOMonitor:
+    """Scores request outcomes against a set of objectives.
+
+    ``slot_ticks`` converts service units to kernel ticks — pass the
+    server's rounded :meth:`~repro.sim.ri.RIServer
+    .nominal_service_ticks` so objectives stay architecture-invariant.
+    """
+
+    def __init__(self, slot_ticks: int,
+                 objectives: Tuple[Objective, ...] = DEFAULT_OBJECTIVES
+                 ) -> None:
+        if slot_ticks < 1:
+            raise ValueError("slot_ticks must be at least one tick")
+        names = [objective.name for objective in objectives]
+        if len(set(names)) != len(names):
+            raise ValueError("objective names must be unique")
+        self.slot_ticks = slot_ticks
+        self._states = [_ObjectiveState(objective, slot_ticks)
+                        for objective in objectives]
+
+    def observe(self, kind: str, now: int, completed: bool,
+                latency_ticks: int, label: str = "") -> None:
+        """Score one resolved request against every matching objective."""
+        for state in self._states:
+            if state.objective.matches(kind):
+                state.observe(kind, now, completed, latency_ticks,
+                              label)
+
+    def observe_outcome(self, outcome: Any) -> None:
+        """Score a :class:`~repro.sim.ri.ServeOutcome` (duck-typed)."""
+        self.observe(outcome.kind, outcome.finished, outcome.served,
+                     outcome.latency,
+                     label="%s@%d" % (outcome.kind, outcome.arrived))
+
+    def report(self) -> SLOReport:
+        """Freeze the current evaluation into an :class:`SLOReport`."""
+        return SLOReport(
+            slot_ticks=self.slot_ticks,
+            objectives=tuple(
+                ObjectiveReport(
+                    name=state.objective.name,
+                    kind=state.objective.kind,
+                    target=state.objective.target,
+                    total=state.total, bad=state.bad,
+                    compliance=state.compliance,
+                    breached=state.breached,
+                    alerts=tuple(state.alerts),
+                    exemplars=tuple(state.exemplars),
+                ) for state in self._states))

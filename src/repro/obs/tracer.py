@@ -64,6 +64,12 @@ class Span:
     end: Optional[int] = None
     args: Dict[str, Any] = field(default_factory=dict)
     index: int = 0
+    #: ``index`` of the enclosing structural span (``None`` at top
+    #: level). Maintained by the tracer's open-span stack so the
+    #: profiler can fold spans into an exact call tree without
+    #: re-inferring nesting from intervals (zero-width structural spans
+    #: would make interval containment ambiguous).
+    parent: Optional[int] = None
 
     def set(self, key: str, value: Any) -> None:
         """Attach (or overwrite) one argument on the span."""
@@ -102,6 +108,7 @@ class Tracer:
         self.events: List[Event] = []
         self.metrics = MetricsRegistry()
         self._seq = 0
+        self._open: List[Span] = []
 
     def _next_index(self) -> int:
         self._seq += 1
@@ -131,11 +138,14 @@ class Tracer:
         """
         span = Span(name=name, track=track, category=category,
                     start=self.now, args=dict(args),
-                    index=self._next_index())
+                    index=self._next_index(),
+                    parent=self._open[-1].index if self._open else None)
         self.spans.append(span)
+        self._open.append(span)
         try:
             yield span
         finally:
+            self._open.pop()
             span.end = self.now
 
     # -- events ----------------------------------------------------------
@@ -165,6 +175,7 @@ class Tracer:
             category=OPERATION_CATEGORY,
             start=self.now, end=self.now + cycles,
             index=self._next_index(),
+            parent=self._open[-1].index if self._open else None,
             args={
                 "algorithm": record.algorithm.value,
                 "phase": record.phase.value,

@@ -1,0 +1,14 @@
+"""Performance-trajectory tooling: merge bench artifacts, gate drift.
+
+See :mod:`repro.perf.trajectory` for the aggregator behind
+``python -m repro perfdiff`` and the CI ``perf-trajectory`` job.
+"""
+
+from .trajectory import (BenchEntry, MetricPoint, Trajectory,
+                         TrajectoryError, load_report, load_trajectory,
+                         merge, validate)
+
+__all__ = [
+    "BenchEntry", "MetricPoint", "Trajectory", "TrajectoryError",
+    "load_report", "load_trajectory", "merge", "validate",
+]

@@ -33,6 +33,7 @@ from typing import Dict, Mapping, Optional, Tuple
 
 from ..core.architecture import PAPER_PROFILES, ArchitectureProfile
 from ..core.stats import StatsSummary
+from ..obs.slo import SLOReport
 from ..obs.tracer import NULL_TRACER
 from ..usecases.fleet import (CostTemplates, DeviceDraw, FleetConfig,
                               FleetResult, build_cost_templates,
@@ -85,6 +86,9 @@ class ArchitectureLoadResult:
     latency: StatsSummary
     wait: StatsSummary
     latency_by_kind: Dict[str, StatsSummary] = field(default_factory=dict)
+    #: SLO evaluation of the run (deterministic alerts + exemplars);
+    #: ``None`` when the server ran without a monitor.
+    slo: Optional[SLOReport] = None
 
     def latency_ms(self, which: str = "mean") -> float:
         """A latency summary statistic in milliseconds."""
@@ -115,6 +119,7 @@ def _load_result(ri: RIServer, kernel: Kernel,
         latency_by_kind={kind: stats.summary()
                          for kind, stats in ri.latency_by_kind.items()
                          if stats.count},
+        slo=ri.slo.report() if ri.slo is not None else None,
     )
 
 
@@ -168,6 +173,7 @@ def run_fleet_kernel(config: FleetConfig, workers: int = 1,
                         record_log=False)
         ri = RIServer(kernel, profile, capacity=capacity,
                       tracer=tracer)
+        ri.attach_slo()
         bin_ticks = max(1, config.window_seconds * profile.clock_hz
                         // config.arrival_bins)
         offsets = kernel.stream("arrivals")
@@ -219,6 +225,7 @@ def run_open_load(seed: str, profile: ArchitectureProfile,
         raise ValueError("at least one request is required")
     kernel = Kernel(seed=seed, record_log=False)
     ri = RIServer(kernel, profile, capacity=capacity, tracer=tracer)
+    ri.attach_slo()
     mean_gap = profile.clock_hz / arrivals_per_second
     gaps = kernel.stream("arrivals")
     kinds_rng = kernel.stream("kinds")

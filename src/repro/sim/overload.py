@@ -53,6 +53,7 @@ from ..core.architecture import PAPER_PROFILES, ArchitectureProfile
 from ..crypto.sha1 import sha1
 from ..drm.session import RetryPolicy
 from ..obs.metrics import MetricsRegistry
+from ..obs.slo import Objective, SLOReport
 from ..obs.tracer import NULL_TRACER
 from .kernel import Kernel, Wait
 from .queueing import exponential_ticks
@@ -186,6 +187,25 @@ class StormSpec:
         """Spike length in service units."""
         return self.spike_end - self.spike_start
 
+    def objectives(self) -> Tuple[Objective, ...]:
+        """The SLOs a storm run is scored against.
+
+        One latency objective — answered within the clients' patience,
+        the storm's own definition of a good response — and one pure
+        goodput objective. Windows are sized in bins so burn-rate
+        alerts resolve at the same granularity as the goodput series.
+        """
+        return (
+            Objective(name="answered-in-patience", kind="*",
+                      threshold_units=float(self.patience),
+                      target=0.95, fast_window_units=self.bin_size,
+                      slow_window_units=4 * self.bin_size),
+            Objective(name="storm-goodput", kind="*",
+                      threshold_units=None, target=0.99,
+                      fast_window_units=self.bin_size,
+                      slow_window_units=4 * self.bin_size),
+        )
+
     @property
     def label(self) -> str:
         """The (admission × retry) combination as a table key."""
@@ -255,6 +275,9 @@ class StormResult:
     collapse_bins: int
     recovery_bin: Optional[int]
     bins: Tuple[BinStat, ...] = field(default_factory=tuple)
+    #: SLO evaluation of the run (burn-rate alerts + exemplars); same
+    #: seed, same alert ticks — the determinism tests pin this.
+    slo: Optional[SLOReport] = None
 
     @property
     def collapse_duration(self) -> int:
@@ -344,6 +367,7 @@ def run_storm(spec: StormSpec, tracer=NULL_TRACER,
                   admission=make_admission(spec.admission),
                   tracer=tracer)
     slot_ticks = max(1, int(round(ri.nominal_service_ticks())))
+    slo = ri.attach_slo(spec.objectives())
     policy = RETRY_POLICIES[spec.retry]
     budget = RetryBudget() if spec.retry == "retry-budget" else None
     registry = metrics if metrics is not None else MetricsRegistry()
@@ -513,4 +537,5 @@ def run_storm(spec: StormSpec, tracer=NULL_TRACER,
         pre_goodput_per_bin=pre_goodput,
         collapse_bins=collapse_bins,
         recovery_bin=recovery_bin,
-        bins=bin_stats)
+        bins=bin_stats,
+        slo=slo.report())

@@ -41,6 +41,7 @@ from ..core.costs import PAPER_TABLE1, CostTable
 from ..core.stats import StreamingStats
 from ..core.trace import Algorithm, OperationRecord, Phase
 from ..obs.metrics import MetricsRegistry
+from ..obs.slo import DEFAULT_OBJECTIVES, Objective, SLOMonitor
 from ..obs.tracer import NULL_TRACER
 from .kernel import (REJECTED, TIMED_OUT, Acquire, Kernel, Release,
                      Resource, Wait)
@@ -236,7 +237,8 @@ class RIServer:
                  DEFAULT_OCSP_VALIDITY_SECONDS,
                  replay_pressure: bool = True,
                  admission=None,
-                 tracer=NULL_TRACER) -> None:
+                 tracer=NULL_TRACER,
+                 slo=None) -> None:
         self.kernel = kernel
         self.profile = profile
         self.cost_table = cost_table
@@ -277,6 +279,11 @@ class RIServer:
         self.admission = admission
         if admission is not None:
             admission.bind(self)
+        #: Optional :class:`~repro.obs.slo.SLOMonitor`; every resolved
+        #: :class:`ServeOutcome` is scored against it, so burn-rate
+        #: alerts and exemplars ride the same virtual timeline as the
+        #: latency statistics.
+        self.slo = slo
 
     # -- pricing ----------------------------------------------------------
     def base_ticks(self, kind: str) -> int:
@@ -342,6 +349,24 @@ class RIServer:
         return sum(weight * self.base_ticks(kind)
                    for kind, weight in mix.items()) / total
 
+    def attach_slo(self, objectives: Tuple[Objective, ...] =
+                   DEFAULT_OBJECTIVES) -> SLOMonitor:
+        """Bind a fresh SLO monitor sized to this server's service time.
+
+        The monitor's service unit is the rounded mix-weighted nominal
+        service demand, so the same objective set means the same thing
+        on SW, SW/HW and HW profiles.
+        """
+        slot = max(1, int(round(self.nominal_service_ticks())))
+        self.slo = SLOMonitor(slot_ticks=slot, objectives=objectives)
+        return self.slo
+
+    def _resolved(self, outcome: ServeOutcome) -> ServeOutcome:
+        """Score a terminal outcome against the bound SLO monitor."""
+        if self.slo is not None:
+            self.slo.observe_outcome(outcome)
+        return outcome
+
     # -- the serving protocol ---------------------------------------------
     def serve(self, kind: str) -> Generator[Any, Any, Optional[int]]:
         """Serve one request; ``yield from`` this in a device process.
@@ -381,9 +406,9 @@ class RIServer:
                 self.shed += 1
                 self.metrics.counter("ri.shed")
                 self.metrics.counter("ri.shed.%s" % kind)
-                return ServeOutcome(kind=kind, status="shed",
-                                    arrived=arrived, finished=arrived,
-                                    shed_reason=reason)
+                return self._resolved(ServeOutcome(
+                    kind=kind, status="shed", arrived=arrived,
+                    finished=arrived, shed_reason=reason))
         wait_budget = timeout
         if deadline is not None:
             remaining = deadline - arrived
@@ -391,8 +416,9 @@ class RIServer:
                 self.timed_out += 1
                 self.metrics.counter("ri.timed_out")
                 self.metrics.counter("ri.timed_out.%s" % kind)
-                return ServeOutcome(kind=kind, status="timed-out",
-                                    arrived=arrived, finished=arrived)
+                return self._resolved(ServeOutcome(
+                    kind=kind, status="timed-out", arrived=arrived,
+                    finished=arrived))
             if wait_budget is None or remaining < wait_budget:
                 wait_budget = remaining
         if self.admission is not None:
@@ -406,9 +432,9 @@ class RIServer:
             self.refused += 1
             self.metrics.counter("ri.refused")
             self.metrics.counter("ri.refused.%s" % kind)
-            return ServeOutcome(kind=kind, status="refused",
-                                arrived=arrived,
-                                finished=self.kernel.now)
+            return self._resolved(ServeOutcome(
+                kind=kind, status="refused", arrived=arrived,
+                finished=self.kernel.now))
         if grant is TIMED_OUT:
             if self.admission is not None:
                 self.admission.on_departed(self, kind, self.kernel.now,
@@ -418,10 +444,9 @@ class RIServer:
             self.metrics.counter("ri.timed_out.%s" % kind)
             waited = self.kernel.now - arrived
             self.metrics.histogram("ri.expired_wait_ticks", waited)
-            return ServeOutcome(kind=kind, status="timed-out",
-                                arrived=arrived,
-                                finished=self.kernel.now,
-                                waited=waited)
+            return self._resolved(ServeOutcome(
+                kind=kind, status="timed-out", arrived=arrived,
+                finished=self.kernel.now, waited=waited))
         if self.admission is not None:
             self.admission.on_departed(self, kind, self.kernel.now,
                                        "granted")
@@ -453,9 +478,10 @@ class RIServer:
         self.metrics.histogram("ri.latency_ticks.%s" % kind, latency)
         self.metrics.gauge("ri.queue_peak", self.signing.queue_depth
                            .maximum)
-        return ServeOutcome(kind=kind, status="served",
-                            arrived=arrived, finished=self.kernel.now,
-                            waited=waited, service_ticks=ticks)
+        return self._resolved(ServeOutcome(
+            kind=kind, status="served", arrived=arrived,
+            finished=self.kernel.now, waited=waited,
+            service_ticks=ticks))
 
     # -- aggregate views --------------------------------------------------
     def utilization(self) -> float:

@@ -119,11 +119,18 @@ class EpisodeResult:
         return PerformanceModel().evaluate(self.trace, profile)
 
 
-def build_episode(spec: EpisodeSpec) -> Episode:
-    """Construct the world, channel and session one spec describes."""
+def build_episode(spec: EpisodeSpec, tracer=None) -> Episode:
+    """Construct the world, channel and session one spec describes.
+
+    ``tracer`` optionally attaches a :class:`~repro.obs.tracer.Tracer`
+    to the agent's metered crypto, so the episode's priced operations
+    land on the virtual cycle timeline (and can be folded by
+    :mod:`repro.obs.profile`); the default keeps the historical
+    tracer-free world, so existing episode traces stay byte-identical.
+    """
     # repro: allow[REP202] -- DRMWorld.create seeds device DRBGs at provisioning time; the episode's protocol trace itself stays fully metered
     world = DRMWorld.create(seed=spec.seed, metered=True,
-                            rsa_bits=spec.rsa_bits)
+                            rsa_bits=spec.rsa_bits, tracer=tracer)
     content_id = "cid:%s" % spec.seed
     ro_id = "ro:%s" % spec.seed
     world.ci.publish(content_id, "audio/mpeg",
@@ -198,9 +205,9 @@ def _result(episode: Episode, state: Dict[str, Any], started: int,
         flow_seconds=flow_seconds)
 
 
-def run_episode(spec: EpisodeSpec) -> EpisodeResult:
+def run_episode(spec: EpisodeSpec, tracer=None) -> EpisodeResult:
     """The sequential reference execution of one episode."""
-    episode = build_episode(spec)
+    episode = build_episode(spec, tracer=tracer)
     started = episode.world.clock.now
     flow_seconds: Dict[str, int] = {}
     state, steps = _flow_steps(episode)

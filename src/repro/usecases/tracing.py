@@ -13,13 +13,16 @@ architecture profile the tracer prices under; no wall-clock anywhere, so
 the same seed always produces byte-identical exports.
 """
 
-from typing import Callable, Dict, Tuple
+from typing import Callable, Dict, List, Tuple
 
+from ..core.trace import OperationTrace, Phase
 from ..drm.rel import play_count
 from ..drm.roap.faults import FaultPlan, FaultyChannel
 from ..drm.session import RetryPolicy, RoapSession
 from ..obs.tracer import Tracer
-from .scenario import KIB
+from .catalog import music_player, ringtone
+from .scenario import KIB, UseCase
+from .workload import run_modeled
 from .world import DRMWorld, RSA_BITS
 
 #: Content the scenarios publish: ringtone-class, deterministic bytes.
@@ -113,6 +116,73 @@ SCENARIOS: Dict[str, Callable[[Tracer, str, int], DRMWorld]] = {
     "lossy-registration": _lossy_registration,
     "durable": _durable,
 }
+
+
+#: Paper-scale modeled scenarios: the trace comes from the exact
+#: rescaling engine (:func:`~repro.usecases.workload.run_modeled`) and
+#: is *replayed* through the tracer with one structural span per
+#: contiguous protocol-phase segment — full 3.5 MB Music Player
+#: profiles in milliseconds instead of a functional run's minutes,
+#: bit-identical in cycle attribution either way.
+MODELED_SCENARIOS: Dict[str, Callable[[], UseCase]] = {
+    "music": music_player,
+    "ringtone": ringtone,
+}
+
+#: Every name ``run_profile_scenario`` accepts, in CLI help order.
+PROFILE_SCENARIOS: Tuple[str, ...] = (tuple(SCENARIOS)
+                                      + tuple(MODELED_SCENARIOS))
+
+
+def replay_modeled(name: str, tracer: Tracer,
+                   seed: str = "repro-trace") -> OperationTrace:
+    """Replay a paper-scale modeled use case through ``tracer``.
+
+    The modeled trace's records are priced through
+    :meth:`~repro.obs.tracer.Tracer.on_record` — exactly the records
+    :class:`~repro.core.model.PerformanceModel` prices — nested inside
+    one structural span per contiguous phase segment, under one root
+    span named after the scenario. The profiler's tree therefore
+    reconciles bit-exactly with the use case's
+    :class:`~repro.core.model.CostBreakdown`.
+    """
+    try:
+        use_case = MODELED_SCENARIOS[name]()
+    except KeyError:
+        raise ValueError(
+            "unknown modeled scenario %r (expected one of %s)"
+            % (name, ", ".join(sorted(MODELED_SCENARIOS)))) from None
+    run = run_modeled(use_case, seed=seed)
+    segments: List[Tuple[Phase, List]] = []
+    for record in run.trace:
+        if not segments or segments[-1][0] is not record.phase:
+            segments.append((record.phase, []))
+        segments[-1][1].append(record)
+    with tracer.span(name, track="modeled", use_case=use_case.name,
+                     content_octets=use_case.content_octets,
+                     accesses=use_case.accesses):
+        for phase, records in segments:
+            with tracer.span(phase.value, track=phase.value):
+                for record in records:
+                    tracer.on_record(record)
+    return run.trace
+
+
+def run_profile_scenario(name: str, tracer: Tracer,
+                         seed: str = "repro-trace",
+                         rsa_bits: int = RSA_BITS) -> OperationTrace:
+    """Trace any profiling scenario; returns the metered trace.
+
+    Modeled names (:data:`MODELED_SCENARIOS`) replay a rescaled
+    paper-scale trace; every other name runs the real protocol stack
+    via :func:`run_scenario`. Either way the returned
+    :class:`~repro.core.trace.OperationTrace` prices to exactly the
+    cycles the tracer recorded.
+    """
+    if name in MODELED_SCENARIOS:
+        return replay_modeled(name, tracer, seed=seed)
+    world = run_scenario(name, tracer, seed=seed, rsa_bits=rsa_bits)
+    return world.agent_crypto.trace
 
 
 def run_scenario(name: str, tracer: Tracer,

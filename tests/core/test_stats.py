@@ -1,5 +1,8 @@
 """Streaming stats: exactness, percentiles, and the merge laws."""
 
+import math
+from fractions import Fraction
+
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
@@ -74,6 +77,49 @@ def test_percentile_nearest_rank():
     assert stats.percentile(1.0) == 1
 
 
+def test_percentile_single_sample():
+    # Any percentile of one observation is that observation: the rank
+    # is ceil(p/100 * 1) == 1 for every p in (0, 100].
+    stats = folded([42])
+    for p in (0.1, 1.0, 50.0, 99.9, 100.0):
+        assert stats.percentile(p) == 42
+
+
+def test_percentile_all_equal():
+    stats = folded([7] * 1000)
+    for p in (0.1, 50.0, 99.9, 100.0):
+        assert stats.percentile(p) == 7
+
+
+def test_percentile_fractional_p_does_not_truncate():
+    # ceil(50.25/100 * 2) == ceil(1.005) == 2 — the second value. The
+    # historical int(p * count) // 100 spelling truncated 100.5 -> 100
+    # before the ceiling, yielding rank 1.
+    stats = folded([1, 2])
+    assert stats.percentile(50.25) == 2
+    # ceil(0.5/100 * 2) == 1 — fractional p below one rank stays at 1.
+    assert stats.percentile(0.5) == 1
+
+
+def test_percentile_float_epsilon_does_not_round_up():
+    # 64.1 is not exactly representable: 64.1/100 * 1000 floats to an
+    # epsilon above 641, so a float ceil would return the 642nd value.
+    # The exact rank is ceil(641.0) == 641.
+    stats = folded(list(range(1, 1001)))
+    assert stats.percentile(64.1) == 641
+    assert stats.percentile(29.7) == 297
+
+
+def test_percentile_nearest_rank_matches_sorted_reference():
+    values = [3, 1, 4, 1, 5, 9, 2, 6, 5, 3, 5]
+    stats = folded(values)
+    ordered = sorted(values)
+    for p in (10.0, 25.0, 33.3, 50.0, 66.6, 75.0, 90.0, 100.0):
+        exact = Fraction(repr(p)) * len(values) / 100
+        rank = max(1, math.ceil(exact))
+        assert stats.percentile(p) == ordered[rank - 1]
+
+
 def test_summary_scaled_is_linear():
     stats = folded([10, 20, 30, 40])
     summary = stats.summary()
@@ -135,8 +181,14 @@ def test_merge_all_matches_flat_fold(chunks):
        p=st.floats(min_value=0.01, max_value=100.0))
 @settings(max_examples=200, deadline=None)
 def test_percentile_matches_sorted_reference(values, p):
-    """Nearest-rank percentile agrees with the sorted-list definition."""
+    """Nearest-rank percentile agrees with the sorted-list definition.
+
+    The reference rank is ceil(p/100 * N) computed in exact rational
+    arithmetic over the decimal the caller wrote (``repr(p)``), the
+    same definition ``percentile`` implements — float spellings of the
+    ceiling disagree with it on fractional percentiles.
+    """
     stats = folded(values)
     ordered = sorted(values)
-    rank = max(1, -(-int(p * len(values)) // 100))
+    rank = max(1, math.ceil(Fraction(repr(p)) * len(values) / 100))
     assert stats.percentile(p) == ordered[rank - 1]

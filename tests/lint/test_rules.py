@@ -667,6 +667,40 @@ def test_rep601_suppression_with_justification(tmp_path):
     assert len(result.suppressed) == 1
 
 
+def test_rep603_flags_unmanaged_span_call(tmp_path):
+    result = lint_tree(tmp_path, {"repro/drm/s.py": """
+        def flow(tracer):
+            span = tracer.span("flow", track="roap")
+            span.set("k", 1)
+        """})
+    assert rule_ids(result) == ["REP603"]
+
+
+def test_rep603_flags_unmanaged_span_on_attribute_chain(tmp_path):
+    result = lint_tree(tmp_path, {"repro/usecases/s.py": """
+        def flow(world):
+            world.tracer.span("flow")
+        """})
+    assert rule_ids(result) == ["REP603"]
+
+
+def test_rep603_allows_with_managed_span(tmp_path):
+    result = lint_tree(tmp_path, {"repro/drm/s.py": """
+        def flow(self, tracer):
+            with tracer.span("a"), self.tracer.span("b") as span:
+                span.set("k", 1)
+        """})
+    assert "REP603" not in rule_ids(result)
+
+
+def test_rep603_ignores_non_tracer_span_methods(tmp_path):
+    result = lint_tree(tmp_path, {"repro/core/s.py": """
+        def width(interval):
+            return interval.span(2)
+        """})
+    assert "REP603" not in rule_ids(result)
+
+
 # -- REP7xx trust boundary ---------------------------------------------------
 
 def test_rep701_flags_swallowed_trust_error(tmp_path):
